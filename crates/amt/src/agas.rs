@@ -1,0 +1,267 @@
+//! Active Global Address Space (AGAS).
+//!
+//! HPX's AGAS (paper §4.1) "supports load balancing via object migration
+//! and enables exposing a uniform API for local and remote execution":
+//! every component (e.g. each octree node in Octo-Tiger) gets a global id
+//! that stays valid when the object moves between localities. "Even when
+//! a grid cell is migrated from one node to another during operation, the
+//! runtime manages the updated destination address transparently" (§5.2).
+//!
+//! This module provides that resolution layer for the simulated cluster:
+//! a [`GlobalId`] encodes the locality that *allocated* it; the registry
+//! maps ids to (current locality, local object). Migration re-points the
+//! mapping; stale sends are forwarded by the parcelport using
+//! [`Agas::resolve`].
+
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A 64-bit global identifier: high 16 bits = allocating locality,
+/// low 48 bits = sequence number on that locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u64);
+
+impl GlobalId {
+    const LOCALITY_SHIFT: u32 = 48;
+
+    /// The locality that allocated this id (its *home*, not necessarily
+    /// where the object currently lives).
+    pub fn home_locality(self) -> u32 {
+        (self.0 >> Self::LOCALITY_SHIFT) as u32
+    }
+
+    /// The per-locality sequence number.
+    pub fn sequence(self) -> u64 {
+        self.0 & ((1 << Self::LOCALITY_SHIFT) - 1)
+    }
+
+    fn compose(locality: u32, seq: u64) -> GlobalId {
+        assert!(locality < (1 << 16), "locality id out of range");
+        assert!(seq < (1 << Self::LOCALITY_SHIFT), "sequence exhausted");
+        GlobalId(((locality as u64) << Self::LOCALITY_SHIFT) | seq)
+    }
+}
+
+/// A type-erased component stored in the address space.
+pub type Component = Arc<dyn Any + Send + Sync>;
+
+struct Entry {
+    /// Locality where the object currently lives.
+    locality: u32,
+    /// The object itself, present only on the owning locality.
+    object: Option<Component>,
+}
+
+/// Per-locality AGAS instance. In the simulated cluster every locality
+/// holds its own registry; remote entries are cached `locality`-only
+/// mappings updated on migration.
+pub struct Agas {
+    locality: u32,
+    next_seq: AtomicU64,
+    entries: RwLock<HashMap<GlobalId, Entry>>,
+}
+
+impl Agas {
+    pub fn new(locality: u32) -> Agas {
+        Agas {
+            locality,
+            next_seq: AtomicU64::new(1),
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The locality this registry belongs to.
+    pub fn locality(&self) -> u32 {
+        self.locality
+    }
+
+    /// Register a new local component and return its global id.
+    pub fn register<T: Any + Send + Sync>(&self, object: Arc<T>) -> GlobalId {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let id = GlobalId::compose(self.locality, seq);
+        self.entries.write().insert(
+            id,
+            Entry { locality: self.locality, object: Some(object as Component) },
+        );
+        id
+    }
+
+    /// Register a component under an id allocated elsewhere (used when an
+    /// object migrates *in*).
+    pub fn adopt<T: Any + Send + Sync>(&self, id: GlobalId, object: Arc<T>) {
+        self.entries
+            .write()
+            .insert(id, Entry { locality: self.locality, object: Some(object as Component) });
+    }
+
+    /// Record that `id` now lives on `locality` (without holding the
+    /// object). Used to keep forwarding pointers after a migration.
+    pub fn record_remote(&self, id: GlobalId, locality: u32) {
+        self.entries.write().insert(id, Entry { locality, object: None });
+    }
+
+    /// Where does `id` live, as far as this locality knows? Falls back to
+    /// the id's home locality when no entry exists (the home always knows
+    /// the latest location, so a parcel routed there gets forwarded).
+    pub fn resolve(&self, id: GlobalId) -> u32 {
+        self.entries
+            .read()
+            .get(&id)
+            .map(|e| e.locality)
+            .unwrap_or_else(|| id.home_locality())
+    }
+
+    /// Fetch a local component, downcast to its concrete type. `None` if
+    /// the object is not resident here or has a different type.
+    pub fn get<T: Any + Send + Sync>(&self, id: GlobalId) -> Option<Arc<T>> {
+        let entries = self.entries.read();
+        let obj = entries.get(&id)?.object.clone()?;
+        obj.downcast::<T>().ok()
+    }
+
+    /// Whether the object is resident on this locality.
+    pub fn is_local(&self, id: GlobalId) -> bool {
+        self.entries
+            .read()
+            .get(&id)
+            .map(|e| e.object.is_some())
+            .unwrap_or(false)
+    }
+
+    /// If `id` has an explicit entry here whose object has moved away,
+    /// return the locality it was forwarded to. `None` when the object is
+    /// resident or simply unknown (unknown ids are *not* forwarded; the
+    /// caller should fall back to [`Agas::resolve`] semantics only for
+    /// ids it knows were allocated).
+    pub fn forwarding_target(&self, id: GlobalId) -> Option<u32> {
+        let entries = self.entries.read();
+        let e = entries.get(&id)?;
+        if e.object.is_none() && e.locality != self.locality {
+            Some(e.locality)
+        } else {
+            None
+        }
+    }
+
+    /// Remove a local object for migration, returning it. The entry keeps
+    /// a forwarding pointer to `dest`.
+    pub fn begin_migration(&self, id: GlobalId, dest: u32) -> Option<Component> {
+        let mut entries = self.entries.write();
+        let entry = entries.get_mut(&id)?;
+        let obj = entry.object.take();
+        entry.locality = dest;
+        obj
+    }
+
+    /// Remove an entry entirely (object destruction).
+    pub fn unregister(&self, id: GlobalId) -> bool {
+        self.entries.write().remove(&id).is_some()
+    }
+
+    /// Number of ids known to this locality.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no ids are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of objects resident on this locality.
+    pub fn resident_count(&self) -> usize {
+        self.entries.read().values().filter(|e| e.object.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_encoding() {
+        let id = GlobalId::compose(3, 42);
+        assert_eq!(id.home_locality(), 3);
+        assert_eq!(id.sequence(), 42);
+    }
+
+    #[test]
+    fn register_and_get() {
+        let agas = Agas::new(0);
+        let id = agas.register(Arc::new(123u64));
+        assert!(agas.is_local(id));
+        assert_eq!(*agas.get::<u64>(id).unwrap(), 123);
+        assert_eq!(agas.resolve(id), 0);
+        assert_eq!(agas.resident_count(), 1);
+    }
+
+    #[test]
+    fn wrong_type_downcast_is_none() {
+        let agas = Agas::new(0);
+        let id = agas.register(Arc::new(1.5f64));
+        assert!(agas.get::<u64>(id).is_none());
+        assert!(agas.get::<f64>(id).is_some());
+    }
+
+    #[test]
+    fn unknown_id_resolves_to_home() {
+        let agas = Agas::new(0);
+        let foreign = GlobalId::compose(7, 99);
+        assert_eq!(agas.resolve(foreign), 7);
+        assert!(!agas.is_local(foreign));
+        assert!(agas.get::<u64>(foreign).is_none());
+    }
+
+    #[test]
+    fn migration_moves_object_and_leaves_forwarding_pointer() {
+        let src = Agas::new(0);
+        let dst = Agas::new(1);
+        let id = src.register(Arc::new("payload".to_string()));
+
+        let obj = src.begin_migration(id, 1).expect("object must exist");
+        assert!(!src.is_local(id));
+        assert_eq!(src.resolve(id), 1, "forwarding pointer must point at dest");
+
+        let obj = obj.downcast::<String>().unwrap();
+        dst.adopt(id, obj);
+        assert!(dst.is_local(id));
+        assert_eq!(*dst.get::<String>(id).unwrap(), "payload");
+    }
+
+    #[test]
+    fn record_remote_updates_resolution() {
+        let agas = Agas::new(0);
+        let id = GlobalId::compose(2, 5);
+        agas.record_remote(id, 4);
+        assert_eq!(agas.resolve(id), 4);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let agas = Agas::new(0);
+        let id = agas.register(Arc::new(0u8));
+        assert!(agas.unregister(id));
+        assert!(!agas.unregister(id));
+        assert_eq!(agas.len(), 0);
+        assert!(agas.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_across_many_registrations() {
+        let agas = Agas::new(5);
+        let mut ids: Vec<GlobalId> = (0..1000).map(|i| agas.register(Arc::new(i as u32))).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 1000);
+        assert!(ids.iter().all(|id| id.home_locality() == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "locality id out of range")]
+    fn locality_range_checked() {
+        let _ = GlobalId::compose(1 << 16, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! HPX-style channels (paper §5.2).
+//!
+//! "The asynchronous send/receive abstraction in HPX has been extended
+//! with the concept of a channel that the receiving end may fetch futures
+//! from (for N timesteps ahead if desired) and the sending end may push
+//! data into as it is generated."
+//!
+//! [`Channel`] reproduces exactly this: `recv` returns a [`Future`]
+//! immediately — even before the matching `send` happens — and pairs
+//! values with futures in FIFO order. Octo-Tiger's halo exchange uses one
+//! channel per (neighbor, direction); the receiver attaches the dependent
+//! computation as a continuation, so "the user does not have to perform
+//! any test for readiness of the received data".
+
+use crate::future::{Future, Promise};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct ChannelInner<T> {
+    /// Values sent but not yet matched with a `recv`.
+    values: VecDeque<T>,
+    /// Promises from `recv` calls not yet matched with a `send`.
+    waiters: VecDeque<Promise<T>>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO channel whose receive side hands
+/// out futures. Cloning shares the same queue.
+pub struct Channel<T> {
+    inner: Arc<Mutex<ChannelInner<T>>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send + 'static> Default for Channel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> Channel<T> {
+    pub fn new() -> Self {
+        Channel {
+            inner: Arc::new(Mutex::new(ChannelInner {
+                values: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Push a value. If a receiver is already waiting, its future becomes
+    /// ready immediately (scheduling its continuation, if any).
+    ///
+    /// # Panics
+    /// If the channel was closed.
+    pub fn send(&self, value: T) {
+        let mut inner = self.inner.lock();
+        assert!(!inner.closed, "send on closed channel");
+        if let Some(promise) = inner.waiters.pop_front() {
+            drop(inner);
+            promise.set_value(value);
+        } else {
+            inner.values.push_back(value);
+        }
+    }
+
+    /// Fetch a future for the next value in FIFO order. May be called any
+    /// number of steps ahead of the matching sends.
+    pub fn recv(&self) -> Future<T> {
+        let mut inner = self.inner.lock();
+        if let Some(v) = inner.values.pop_front() {
+            crate::future::make_ready_future(v)
+        } else {
+            assert!(!inner.closed, "recv on closed, drained channel");
+            let (p, f) = Promise::new();
+            inner.waiters.push_back(p);
+            f
+        }
+    }
+
+    /// Number of values queued and not yet received.
+    pub fn len(&self) -> usize {
+        self.inner.lock().values.len()
+    }
+
+    /// Whether no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of receivers waiting for values.
+    pub fn waiting_receivers(&self) -> usize {
+        self.inner.lock().waiters.len()
+    }
+
+    /// Close the channel. Outstanding receive futures become broken
+    /// promises; further sends panic. Queued values can still be received.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        inner.waiters.clear(); // dropping promises breaks them
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterRegistry;
+    use crate::scheduler::Scheduler;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sched(n: usize) -> Arc<Scheduler> {
+        Scheduler::new(n, Arc::new(CounterRegistry::new()))
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let ch = Channel::new();
+        ch.send(1);
+        ch.send(2);
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.recv().get(), 1);
+        assert_eq!(ch.recv().get(), 2);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn recv_before_send() {
+        let ch = Channel::new();
+        let f1 = ch.recv();
+        let f2 = ch.recv();
+        assert_eq!(ch.waiting_receivers(), 2);
+        assert!(!f1.is_ready());
+        ch.send("a");
+        ch.send("b");
+        assert_eq!(f1.get(), "a");
+        assert_eq!(f2.get(), "b");
+    }
+
+    #[test]
+    fn fetch_futures_n_steps_ahead() {
+        // The §5.2 use case: the receiver pre-fetches futures for N
+        // timesteps and attaches continuations; the sender pushes as
+        // data is generated.
+        let s = sched(2);
+        let ch = Channel::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut outs = Vec::new();
+        for step in 0..10usize {
+            let seen = Arc::clone(&seen);
+            outs.push(ch.recv().then(&s, move |v: usize| {
+                assert_eq!(v, step);
+                seen.fetch_add(1, Ordering::SeqCst);
+                v
+            }));
+        }
+        for step in 0..10usize {
+            ch.send(step);
+        }
+        for (i, f) in outs.into_iter().enumerate() {
+            assert_eq!(f.get_help(&s), i);
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn channel_is_mpmc_across_threads() {
+        let ch = Channel::new();
+        let n = 200;
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ch = ch.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n / 4 {
+                        ch.send(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        for _ in 0..n {
+            got.push(ch.recv().get());
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), n as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "send on closed channel")]
+    fn send_after_close_panics() {
+        let ch = Channel::new();
+        ch.close();
+        ch.send(1);
+    }
+
+    #[test]
+    fn close_breaks_waiting_receivers() {
+        let ch = Channel::<u8>::new();
+        let f = ch.recv();
+        ch.close();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()));
+        assert!(res.is_err(), "waiting receiver should see a broken promise");
+    }
+
+    #[test]
+    fn queued_values_survive_close() {
+        let ch = Channel::new();
+        ch.send(9);
+        ch.close();
+        assert_eq!(ch.recv().get(), 9);
+    }
+}

@@ -1,0 +1,190 @@
+//! An asynchronous many-task (AMT) runtime — the HPX stand-in.
+//!
+//! The paper builds Octo-Tiger on HPX (§4.1), whose essential components
+//! are:
+//!
+//! * futures and other primitives for wait-free asynchronous programming
+//!   ("futurization"),
+//! * a work-stealing lightweight task scheduler,
+//! * an Active Global Address Space (AGAS) supporting components and
+//!   migration,
+//! * channels layered over the send/receive abstraction, and
+//! * APEX-style performance counters.
+//!
+//! This crate implements each of those from scratch:
+//!
+//! * [`future`] — explicit-continuation futures ([`Future`], [`Promise`],
+//!   [`when_all`]) whose continuations are scheduled as tasks when their
+//!   dependencies are satisfied, exactly HPX's dataflow model. A blocked
+//!   `get` *helps* run other tasks instead of idling, mirroring HPX task
+//!   suspension.
+//! * [`scheduler`] — a work-stealing pool over `crossbeam_deque` with
+//!   per-worker LIFO deques, a global injector, and parking.
+//! * [`channel`] — HPX-style channels: the receiving side fetches futures
+//!   for values (any number of steps ahead), the sending side pushes data
+//!   as it is generated (§5.2).
+//! * [`agas`] — a global id → component registry with migration support.
+//! * [`counters`] — named atomic counters, queried like HPX performance
+//!   counters.
+//!
+//! The whole distributed layer (`parcelport` crate) and the GPU layer
+//! (`gpusim` crate) are built on these primitives, as in the paper.
+
+pub mod agas;
+pub mod channel;
+pub mod counters;
+pub mod future;
+pub mod scheduler;
+
+pub use agas::{Agas, GlobalId};
+pub use channel::Channel;
+pub use counters::CounterRegistry;
+pub use future::{make_ready_future, when_all, Future, Promise};
+pub use scheduler::Scheduler;
+
+use std::sync::Arc;
+
+/// The composed runtime: scheduler + AGAS + counters.
+///
+/// One `Runtime` corresponds to one HPX *locality*. The `parcelport` crate
+/// wires several of these together into a simulated cluster.
+pub struct Runtime {
+    sched: Arc<Scheduler>,
+    agas: Agas,
+    counters: Arc<CounterRegistry>,
+    locality: u32,
+}
+
+impl Runtime {
+    /// Create a runtime with `n_threads` worker threads for locality 0.
+    pub fn new(n_threads: usize) -> Arc<Runtime> {
+        Self::with_locality(n_threads, 0)
+    }
+
+    /// Create a runtime for a given locality id (used by the cluster sim).
+    pub fn with_locality(n_threads: usize, locality: u32) -> Arc<Runtime> {
+        let counters = Arc::new(CounterRegistry::new());
+        Arc::new(Runtime {
+            sched: Scheduler::new(n_threads, Arc::clone(&counters)),
+            agas: Agas::new(locality),
+            counters,
+            locality,
+        })
+    }
+
+    /// The locality id of this runtime.
+    pub fn locality(&self) -> u32 {
+        self.locality
+    }
+
+    /// The task scheduler.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// The global address space of this locality.
+    pub fn agas(&self) -> &Agas {
+        &self.agas
+    }
+
+    /// The performance counter registry.
+    pub fn counters(&self) -> &Arc<CounterRegistry> {
+        &self.counters
+    }
+
+    /// Spawn a fire-and-forget task.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.sched.spawn(f);
+    }
+
+    /// Spawn a task and get a future for its result — HPX `async`.
+    pub fn async_call<R: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> Future<R> {
+        let (promise, fut) = Promise::new();
+        self.sched.spawn(move || promise.set_value(f()));
+        fut
+    }
+
+    /// Block until `fut` is ready, helping to run other tasks meanwhile.
+    pub fn get<T: Send + 'static>(&self, fut: Future<T>) -> T {
+        fut.get_help(&self.sched)
+    }
+
+    /// Run tasks until the scheduler is quiescent (no task in flight).
+    pub fn wait_quiescent(&self) {
+        self.sched.wait_quiescent();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.sched.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn async_call_roundtrip() {
+        let rt = Runtime::new(2);
+        let f = rt.async_call(|| 21 * 2);
+        assert_eq!(rt.get(f), 42);
+    }
+
+    #[test]
+    fn spawn_many_and_quiesce() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            rt.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait_quiescent();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let rt = Runtime::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            let sched = Arc::clone(rt.scheduler());
+            rt.spawn(move || {
+                for _ in 0..10 {
+                    let c2 = Arc::clone(&c);
+                    sched.spawn(move || {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        rt.wait_quiescent();
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn futurization_tree() {
+        // A binary dependency tree of continuations, exercising the
+        // dataflow style the paper uses for the FMM.
+        let rt = Runtime::new(4);
+        fn sum_tree(rt: &Arc<Runtime>, depth: usize) -> Future<u64> {
+            if depth == 0 {
+                return make_ready_future(1);
+            }
+            let l = sum_tree(rt, depth - 1);
+            let r = sum_tree(rt, depth - 1);
+            let sched = Arc::clone(rt.scheduler());
+            when_all(&sched, vec![l, r]).then(&sched, |vals| vals.iter().sum::<u64>())
+        }
+        let f = sum_tree(&rt, 10);
+        assert_eq!(rt.get(f), 1024);
+    }
+}

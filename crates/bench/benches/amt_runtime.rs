@@ -1,0 +1,57 @@
+//! AMT runtime overhead benchmarks: task spawn/steal throughput and
+//! futurization (continuation-chain) cost — the per-task overheads the
+//! paper's "billions of HPX tasks" design depends on being small.
+
+use amt::{make_ready_future, when_all, Runtime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn bench_amt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amt");
+    group.sample_size(10);
+
+    group.bench_function("spawn_10k_tasks", |b| {
+        let rt = Runtime::new(4);
+        b.iter(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..10_000 {
+                let c = Arc::clone(&counter);
+                rt.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            rt.wait_quiescent();
+            black_box(counter.load(Ordering::Relaxed))
+        })
+    });
+
+    group.bench_function("continuation_chain_1k", |b| {
+        let rt = Runtime::new(2);
+        let sched = Arc::clone(rt.scheduler());
+        b.iter(|| {
+            let mut f = make_ready_future(0u64);
+            for _ in 0..1000 {
+                f = f.then(&sched, |v| v + 1);
+            }
+            black_box(f.get_help(&sched))
+        })
+    });
+
+    group.bench_function("when_all_fanin_1k", |b| {
+        let rt = Runtime::new(4);
+        let sched = Arc::clone(rt.scheduler());
+        b.iter(|| {
+            let futures: Vec<_> = (0..1000)
+                .map(|i| rt.async_call(move || i * 2))
+                .collect();
+            black_box(when_all(&sched, futures).get_help(&sched))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_amt);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! In-process parcelport comparison: two-sided MPI-style vs one-sided
+//! libfabric-style transports moving halo-sized payloads. The
+//! structural differences the paper attributes its gains to — payload
+//! copies and a locked progress engine vs zero-copy delivery and
+//! lock-free completion queues — show up directly as throughput.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parcelport::cluster::Transport;
+use parcelport::libfabric_sim::LibfabricTransport;
+use parcelport::mpi_sim::MpiTransport;
+use parcelport::parcel::{ActionId, Parcel};
+use amt::GlobalId;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn pump(transport: &dyn Transport, payload: &Bytes, n: usize) {
+    for i in 0..n {
+        transport.send(
+            0,
+            Parcel {
+                dest_locality: 1,
+                dest_component: GlobalId(i as u64),
+                action: ActionId(1),
+                payload: payload.clone(),
+            },
+        );
+    }
+    // Drain: the receiver polls; for the two-sided transport the sender
+    // side must also make progress (rendezvous handshakes).
+    while transport.in_flight() > 0 {
+        transport.progress(1);
+        transport.progress(0);
+    }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parcelport");
+    group.sample_size(20);
+    // A face halo of one sub-grid: 3x8x8 cells x 14 fields x 8 B = 21.5 KB
+    // (eager-path for MPI), and a full sub-grid restart payload of
+    // 230 KB (rendezvous-path).
+    for (label, size) in [("halo_21k", 21_504usize), ("subgrid_230k", 230_496)] {
+        let payload = Bytes::from(vec![0xABu8; size]);
+        group.bench_with_input(BenchmarkId::new("mpi_two_sided", label), &payload, |b, p| {
+            let t = MpiTransport::new(2);
+            t.set_delivery(0, Arc::new(|_p| {}));
+            t.set_delivery(1, Arc::new(|p| {
+                black_box(p.payload.len());
+            }));
+            b.iter(|| pump(&t, p, 64))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("libfabric_one_sided", label),
+            &payload,
+            |b, p| {
+                let t = LibfabricTransport::new(2);
+                t.set_delivery(0, Arc::new(|_p| {}));
+                t.set_delivery(1, Arc::new(|p| {
+                    black_box(p.payload.len());
+                }));
+                b.iter(|| pump(&t, p, 64))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerate **Figure 2**: relative speedup (processed sub-grids per
+//! second against level 14 on one node) for levels 14–17 over node
+//! counts 1…5400, with both parcelports — plus the §6.2/§6.3 efficiency
+//! headlines (E8).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig2_scaling [max_level]
+//! ```
+//!
+//! Note: the paper's levels 14–17 trees have 1e4–1.5e6 sub-grids; this
+//! harness defaults to our trees at levels 12–15 (same decomposition
+//! machinery, laptop-sized censuses) and scales node counts to keep
+//! sub-grids/node comparable. Pass 17 to run the full-size sweep
+//! (several minutes, gigabytes of RAM).
+
+use parcelport::netmodel::TransportKind;
+use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, Calibration};
+
+fn main() {
+    let max_level: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let levels: Vec<u8> = (max_level.saturating_sub(3)..=max_level).collect();
+    let calib = Calibration::default();
+
+    // Reference: the coarsest level on one node (the paper normalizes
+    // to level 14 on 1 node).
+    let ref_tree = v1309_structure_tree(levels[0]);
+    let ref_point = simulate_scaling(&ref_tree, 1, TransportKind::Libfabric, &calib);
+    let ref_throughput = ref_point.subgrids_per_second;
+    println!(
+        "Figure 2 — speedup w.r.t. processed sub-grids on one node (level {})",
+        levels[0]
+    );
+    println!("reference: {:.1} sub-grids/s on 1 node\n", ref_throughput);
+
+    for &level in &levels {
+        let tree = v1309_structure_tree(level);
+        let subgrids = tree.leaf_count();
+        println!(
+            "level {level}: {subgrids} sub-grids  (speedup = sub-grids/s / reference)"
+        );
+        println!(
+            "{:>7} {:>14} {:>14} {:>12} {:>12} {:>9}",
+            "nodes", "MPI sg/s", "libfabric sg/s", "speedup MPI", "speedup LF", "eff LF"
+        );
+        let mut nodes = 1usize;
+        while nodes <= 5400 {
+            // Skip node counts with less than ~2 sub-grids per node.
+            if subgrids / nodes >= 2 {
+                let m = simulate_scaling(&tree, nodes, TransportKind::Mpi, &calib);
+                let l = simulate_scaling(&tree, nodes, TransportKind::Libfabric, &calib);
+                println!(
+                    "{:>7} {:>14.1} {:>14.1} {:>12.1} {:>12.1} {:>8.1}%",
+                    nodes,
+                    m.subgrids_per_second,
+                    l.subgrids_per_second,
+                    m.subgrids_per_second / ref_throughput,
+                    l.subgrids_per_second / ref_throughput,
+                    100.0 * l.subgrids_per_second / (ref_throughput * nodes as f64),
+                );
+            }
+            nodes = if nodes == 4096 { 5400 } else { nodes * 2 };
+        }
+        println!();
+    }
+    println!("Paper anchors (E8): level 17 libfabric weak-scaling efficiency");
+    println!("78.4% @1024 and 68.1% @2048; level 16: 71.4% @256 down to 21.2%");
+    println!("@5400. Compare the eff column at matching sub-grids-per-node.");
+}

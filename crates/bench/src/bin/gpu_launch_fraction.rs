@@ -1,0 +1,42 @@
+//! Regenerate the **§6.1.2 launch-fraction numbers**: the percentage of
+//! multipole FMM kernels launched on the GPU for the three measured
+//! configurations, from the launch-policy simulation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin gpu_launch_fraction
+//! ```
+
+use perfmodel::machine::table2_platforms;
+use perfmodel::node_level::{simulate_node, Workload};
+
+fn main() {
+    println!("§6.1.2 — fraction of FMM kernels launched on the GPU");
+    println!("{}", "=".repeat(72));
+    let rows: &[(&str, f64, f64)] = &[
+        ("20 cores + 1x V100", 987.0, 97.4995),
+        ("10 cores + 1x V100", 1722.0, 99.9997),
+        ("Piz Daint node + 1x P100", 1435.0, 99.5207),
+    ];
+    println!(
+        "{:<32} {:>12} {:>12} {:>12}",
+        "configuration", "model %", "paper %", "CPU kernels"
+    );
+    println!("{}", "-".repeat(72));
+    let platforms = table2_platforms();
+    for (pat, other_wall, paper_pct) in rows {
+        let cfg = platforms.iter().find(|c| c.name.contains(pat)).unwrap();
+        let w = Workload::v1309_level14(*other_wall);
+        let r = simulate_node(cfg, &w);
+        println!(
+            "{:<32} {:>11.4}% {:>11.4}% {:>12}",
+            cfg.name,
+            100.0 * r.gpu_fraction,
+            paper_pct,
+            r.cpu_kernels
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("Also the §6.1.2 fix (QueueOnBusy): with kernels queued on busy");
+    println!("streams instead of falling back, 100% launch on the GPU — see");
+    println!("gpusim::launch_policy::QueuePolicy::QueueOnBusy and its tests.");
+}

@@ -1,0 +1,40 @@
+//! Regenerate the **§6.3 startup claim**: refining the level-13 restart
+//! file to levels 16/17 is an order of magnitude faster with the
+//! libfabric parcelport.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin startup_regrid
+//! ```
+
+use parcelport::netmodel::TransportKind;
+use perfmodel::regrid::simulate_regrid;
+
+fn main() {
+    println!("§6.3 — startup/regrid time: level 13 refined to 16/17");
+    println!("{}", "=".repeat(72));
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "target", "nodes", "msgs/node", "MPI [s]", "libfabric[s]", "ratio"
+    );
+    println!("{}", "-".repeat(72));
+    // Paper sub-grid counts (Table 4).
+    let cases = [(16u8, 224_000usize, 512usize), (16, 224_000, 2048), (17, 1_500_000, 2048)];
+    for (target, subgrids, nodes) in cases {
+        let mpi = simulate_regrid(TransportKind::Mpi, 5_417, subgrids, nodes, 12, 40);
+        let lf = simulate_regrid(TransportKind::Libfabric, 5_417, subgrids, nodes, 12, 40);
+        println!(
+            "{:>6} {:>8} {:>12} {:>12.2} {:>12.2} {:>7.1}x",
+            target,
+            nodes,
+            mpi.messages_per_node,
+            mpi.wall_s,
+            lf.wall_s,
+            mpi.wall_s / lf.wall_s
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("Regridding is a storm of small messages: MPI drains them through");
+    println!("its locked progress engine (serial per node), libfabric through");
+    println!("lock-free completion queues polled by all 12 workers — the");
+    println!("order-of-magnitude startup difference the paper reports.");
+}

@@ -1,0 +1,67 @@
+//! Regenerate **Table 2**: FMM kernel node-level performance on the
+//! paper's platforms, from the event-driven node model.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table2_node_level
+//! ```
+
+use perfmodel::machine::table2_platforms;
+use perfmodel::node_level::{simulate_node, Workload};
+
+/// (platform substring, paper total s, paper FMM s, paper GFLOP/s,
+/// paper % of peak, non-FMM wall used as model input).
+const PAPER_ROWS: &[(&str, f64, f64, f64, f64, f64)] = &[
+    ("10 cores (CPU only)", 2950.0, 1228.0, 125.0, 30.0, 1722.0),
+    ("10 cores + 1x V100", 1790.0, 68.0, 2271.0, 32.0, 1722.0),
+    ("10 cores + 2x V100", 1770.0, 48.0, 3185.0, 22.0, 1722.0),
+    ("20 cores (CPU only)", 1601.0, 614.0, 250.0, 30.0, 987.0),
+    ("20 cores + 1x V100", 1086.0, 100.0, 1516.0, 22.0, 987.0),
+    ("20 cores + 2x V100", 1017.0, 30.0, 5188.0, 37.0, 987.0),
+    ("Phi", 1774.0, 334.0, 459.0, 17.0, 1440.0),
+    ("Piz Daint node (CPU only)", 2415.0, 980.0, 157.0, 31.0, 1435.0),
+    ("Piz Daint node + 1x P100", 1592.0, 158.0, 973.0, 21.0, 1435.0),
+];
+
+fn main() {
+    println!("Table 2 — FMM kernel node-level performance (model vs paper)");
+    println!("{}", "=".repeat(100));
+    println!(
+        "{:<38} {:>9} {:>9} {:>10} {:>7}   {:>9} {:>10} {:>7}",
+        "platform", "total[s]", "FMM[s]", "GFLOP/s", "%peak", "paper FMM", "paper GF/s", "paper%"
+    );
+    println!("{}", "-".repeat(100));
+    let platforms = table2_platforms();
+    for (pat, _p_total, p_fmm, p_gflops, p_peak, other_wall) in PAPER_ROWS {
+        let cfg = platforms
+            .iter()
+            .find(|c| c.name.contains(pat))
+            .unwrap_or_else(|| panic!("platform {pat} missing"));
+        let w = Workload::v1309_level14(*other_wall);
+        let r = simulate_node(cfg, &w);
+        println!(
+            "{:<38} {:>9.0} {:>9.0} {:>10.0} {:>6.1}%   {:>9.0} {:>10.0} {:>6.1}%",
+            cfg.name,
+            r.total_wall_s,
+            r.fmm_wall_s,
+            r.gflops,
+            100.0 * r.fraction_of_peak,
+            p_fmm,
+            p_gflops,
+            p_peak
+        );
+        if r.gpu_fraction > 0.0 {
+            println!(
+                "{:<38} GPU launch fraction: {:.4}% ({} GPU / {} CPU kernels)",
+                "",
+                100.0 * r.gpu_fraction,
+                r.gpu_kernels,
+                r.cpu_kernels
+            );
+        }
+    }
+    println!("{}", "-".repeat(100));
+    println!("Model anchored to the Xeon-10 CPU-only row (workload definition);");
+    println!("GPU rows emerge from the §5.1 stream/fallback dynamics. Shapes to");
+    println!("compare: GPUs cut FMM time by >10x; 10c+1 V100 launch-limited at");
+    println!("~68 s; 2 GPUs scale; KNL reaches ~17% of its large peak.");
+}

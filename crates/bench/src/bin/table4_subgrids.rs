@@ -1,0 +1,71 @@
+//! Regenerate **Table 4**: number of tree nodes (sub-grids) per level
+//! of refinement and the memory they need, from the real V1309
+//! refinement rule (§6: stars → L−2, accretor core → L−1, donor core →
+//! L) on the real octree.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table4_subgrids [max_level]
+//! ```
+//!
+//! Levels 13–15 run in seconds; 16 takes a minute-ish; 17 allocates a
+//! multi-million-node structure tree. Pass a smaller max level to stop
+//! early.
+
+use octree::subgrid::{FIELD_COUNT, N_GHOST, N_SUB};
+use perfmodel::scaling::v1309_structure_tree;
+
+/// Paper values: (level, sub-grids, memory GB).
+const PAPER: &[(u8, f64, f64)] = &[
+    (13, 5_417.0, 8.0),
+    (14, 10_928.0, 16.37),
+    (15, 42_947.0, 56.92),
+    (16, 2.24e5, 271.94),
+    (17, 1.5e6, 2_305.92),
+];
+
+fn main() {
+    let max_level: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    // Our per-sub-grid footprint: hydro fields on the ghosted grid plus
+    // the gravity workspace (multipoles 10 + expansions 10 doubles per
+    // interior cell), matching this implementation's actual structures.
+    let dim = N_SUB + 2 * N_GHOST;
+    let hydro_bytes = FIELD_COUNT * dim * dim * dim * 8;
+    let gravity_bytes = 20 * N_SUB * N_SUB * N_SUB * 8;
+    let per_subgrid = (hydro_bytes + gravity_bytes) as f64;
+
+    println!("Table 4 — sub-grids and memory per level of refinement");
+    println!("{}", "=".repeat(86));
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}   {:>12} {:>10} {:>10}",
+        "level", "nodes", "leaves", "mem[GB]", "paper nodes", "paper[GB]", "build[s]"
+    );
+    println!("{}", "-".repeat(86));
+    for &(level, paper_n, paper_gb) in PAPER {
+        if level > max_level {
+            println!("{level:>5}   (skipped: pass {level} as max_level to include)");
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let tree = v1309_structure_tree(level);
+        let nodes = tree.len();
+        let leaves = tree.leaf_count();
+        let mem_gb = nodes as f64 * per_subgrid / 1e9;
+        println!(
+            "{level:>5} {nodes:>12} {leaves:>12} {:>12.2}   {:>12.0} {:>10.2} {:>10.1}",
+            mem_gb,
+            paper_n,
+            paper_gb,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!("{}", "-".repeat(86));
+    println!("Counts come from the geometric refinement rule of §6 applied to");
+    println!("our Roche-lobe binary model; the growth pattern (x2 -> x4 -> x5+ -> x7,");
+    println!("approaching the volume-dominated factor 8) is the Table 4 shape.");
+    println!("Memory uses this implementation's measured per-sub-grid footprint");
+    println!("({:.2} MB: {} hydro fields on {}^3 ghosted grids + FMM workspace);", per_subgrid / 1e6, FIELD_COUNT, dim);
+    println!("Octo-Tiger stores more per cell, hence its larger absolute GB.");
+}

@@ -1,0 +1,88 @@
+//! Run configuration.
+
+use hydro::eos::IdealGas;
+use octree::halo::BoundaryCondition;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Equation of state.
+    pub eos: IdealGas,
+    /// CFL number (0, 1).
+    pub cfl: f64,
+    /// Grid rotation rate about z (0 = inertial frame).
+    pub omega: f64,
+    /// Whether self-gravity is solved.
+    pub gravity: bool,
+    /// FMM opening parameter θ.
+    pub theta: f64,
+    /// Physical boundary condition.
+    pub bc: BoundaryCondition,
+    /// Scheduler worker threads for the futurized update.
+    pub threads: usize,
+    /// Positivity floors after each stage (needed for under-resolved
+    /// stellar edges; trades exact mass conservation for robustness, so
+    /// the machine-precision verification scenarios leave it off).
+    pub floors: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            eos: IdealGas::monatomic(),
+            cfl: 0.4,
+            omega: 0.0,
+            gravity: false,
+            theta: 0.5,
+            bc: BoundaryCondition::Outflow,
+            threads: 4,
+            floors: false,
+        }
+    }
+}
+
+impl Config {
+    /// Pure hydro in an inertial frame (Sod / Sedov verification).
+    pub fn hydro_only() -> Config {
+        Config::default()
+    }
+
+    /// Self-gravitating, inertial frame (star tests).
+    pub fn self_gravitating() -> Config {
+        Config { gravity: true, ..Config::default() }
+    }
+
+    /// The V1309 configuration: self-gravity plus a rotating grid,
+    /// with positivity floors for the steep stellar edges.
+    pub fn binary(omega: f64) -> Config {
+        Config { gravity: true, omega, floors: true, ..Config::default() }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.cfl > 0.0 && self.cfl < 1.0, "CFL out of range");
+        assert!(self.theta > 0.0 && self.theta <= 1.0, "theta out of range");
+        assert!(self.threads >= 1, "need at least one thread");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        Config::hydro_only().validate();
+        Config::self_gravitating().validate();
+        Config::binary(0.5).validate();
+        assert!(Config::binary(0.5).gravity);
+        assert_eq!(Config::binary(0.5).omega, 0.5);
+        assert!(!Config::hydro_only().gravity);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL")]
+    fn bad_cfl_rejected() {
+        Config { cfl: 1.5, ..Config::default() }.validate();
+    }
+}

@@ -1,0 +1,155 @@
+//! Conserved-quantity monitors.
+//!
+//! "Octo-Tiger conserves both linear and angular momenta to machine
+//! precision" (§4.2) — these totals are how that claim is checked. The
+//! angular momentum total includes both the orbital part `r × s` and
+//! the evolved spin fields `l` (the Després–Labourasse degree of
+//! freedom), which is exactly the budget the hydro and gravity solvers
+//! balance.
+
+use gravity::solver::GravityField;
+use octree::subgrid::{Field, N_SUB};
+use octree::tree::Octree;
+use util::vec3::Vec3;
+
+/// Totals of the conserved quantities over the whole tree.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Totals {
+    pub mass: f64,
+    pub momentum: Vec3,
+    /// Orbital (r × s) plus spin (l) angular momentum.
+    pub angular: Vec3,
+    pub kinetic: f64,
+    pub internal: f64,
+    /// Gravitational potential energy ½ Σ ρ φ V (0 without gravity).
+    pub potential: f64,
+    /// Sum of the five passive scalars (tracks total mass).
+    pub scalars: f64,
+}
+
+impl Totals {
+    /// Total energy (kinetic + internal + potential).
+    pub fn energy(&self) -> f64 {
+        self.kinetic + self.internal + self.potential
+    }
+}
+
+/// Compute the totals; pass the gravity field for the potential term.
+pub fn totals(tree: &Octree, grav: Option<&GravityField>) -> Totals {
+    let domain = tree.domain();
+    let mut t = Totals::default();
+    for key in tree.leaves() {
+        let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
+        let vol = domain.cell_volume(key.level);
+        let gcells = grav.and_then(|g| g.leaf(key));
+        let n = N_SUB as isize;
+        for (i, j, k) in grid.indexer().interior() {
+            let rho = grid.at(Field::Rho, i, j, k);
+            let s = Vec3::new(
+                grid.at(Field::Sx, i, j, k),
+                grid.at(Field::Sy, i, j, k),
+                grid.at(Field::Sz, i, j, k),
+            );
+            let l = Vec3::new(
+                grid.at(Field::Lx, i, j, k),
+                grid.at(Field::Ly, i, j, k),
+                grid.at(Field::Lz, i, j, k),
+            );
+            let egas = grid.at(Field::Egas, i, j, k);
+            let r = domain.cell_center(key, i, j, k);
+            t.mass += rho * vol;
+            t.momentum += s * vol;
+            t.angular += (r.cross(s) + l) * vol;
+            let ke = if rho > 0.0 { 0.5 * s.norm2() / rho } else { 0.0 };
+            t.kinetic += ke * vol;
+            t.internal += (egas - ke) * vol;
+            if let Some(g) = gcells {
+                let ci = ((i * n + j) * n + k) as usize;
+                t.potential += 0.5 * rho * g[ci].phi * vol;
+            }
+            for f in octree::subgrid::PASSIVE_SCALARS {
+                t.scalars += grid.at(f, i, j, k) * vol;
+            }
+        }
+    }
+    t
+}
+
+/// Relative drift of conserved quantities between two snapshots,
+/// normalized per quantity by a problem scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Drift {
+    pub mass: f64,
+    pub momentum: f64,
+    pub angular: f64,
+    pub energy: f64,
+}
+
+/// Compute drifts of `now` against `start`, normalizing momentum-like
+/// quantities by `momentum_scale` (e.g. M·c_s or the initial |L|).
+pub fn drift(start: &Totals, now: &Totals, momentum_scale: f64, angular_scale: f64) -> Drift {
+    let rel = |a: f64, b: f64, scale: f64| (b - a).abs() / scale.abs().max(1e-300);
+    Drift {
+        mass: rel(start.mass, now.mass, start.mass),
+        momentum: (now.momentum - start.momentum).norm() / momentum_scale.abs().max(1e-300),
+        angular: (now.angular - start.angular).norm() / angular_scale.abs().max(1e-300),
+        energy: rel(start.energy(), now.energy(), start.energy().abs().max(start.internal)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octree::geometry::Domain;
+
+    fn small_tree(rho: f64, v: Vec3) -> Octree {
+        let mut t = Octree::new(Domain::new(4.0));
+        let key = util::morton::MortonKey::root();
+        let grid = t.node_mut(key).unwrap().grid.as_mut().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            grid.set(Field::Rho, i, j, k, rho);
+            grid.set(Field::Sx, i, j, k, rho * v.x);
+            grid.set(Field::Sy, i, j, k, rho * v.y);
+            grid.set(Field::Sz, i, j, k, rho * v.z);
+            grid.set(Field::Egas, i, j, k, 1.0 + 0.5 * rho * v.norm2());
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_box_totals() {
+        let t = small_tree(2.0, Vec3::new(0.5, 0.0, 0.0));
+        let totals = totals(&t, None);
+        // Domain volume 4³ = 64, rho = 2 → mass 128.
+        assert!((totals.mass - 128.0).abs() < 1e-9);
+        assert!((totals.momentum.x - 64.0).abs() < 1e-9);
+        assert_eq!(totals.potential, 0.0);
+        // Kinetic: ½ρv² × V = 0.5·2·0.25·64 = 16.
+        assert!((totals.kinetic - 16.0).abs() < 1e-9);
+        assert!(totals.energy() > totals.kinetic);
+    }
+
+    #[test]
+    fn angular_momentum_includes_spin() {
+        let mut t = small_tree(1.0, Vec3::ZERO);
+        {
+            let key = util::morton::MortonKey::root();
+            let grid = t.node_mut(key).unwrap().grid.as_mut().unwrap();
+            grid.set(Field::Lz, 0, 0, 0, 3.0);
+        }
+        let tot = totals(&t, None);
+        let vol = t.domain().cell_volume(0);
+        assert!((tot.angular.z - 3.0 * vol).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_is_zero_for_identical_snapshots() {
+        let t = small_tree(1.0, Vec3::new(0.1, 0.2, 0.3));
+        let a = totals(&t, None);
+        let d = drift(&a, &a, 1.0, 1.0);
+        assert_eq!(d.mass, 0.0);
+        assert_eq!(d.momentum, 0.0);
+        assert_eq!(d.angular, 0.0);
+        assert_eq!(d.energy, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! **octotiger** — the integration layer: Octo-Tiger in Rust.
+//!
+//! "Octo-Tiger simulates the evolution of mass density, momentum, and
+//! energy of interacting binary stellar systems from the start of mass
+//! transfer to merger. ... To simulate these fluids we need three core
+//! components: (1) a hydrodynamics solver, (2) a gravity solver that
+//! calculates the gravitational field produced by the fluid
+//! distribution, and (3) a solver to generate an initial configuration
+//! of the star system" (paper §4.2).
+//!
+//! This crate composes the substrate crates into the application:
+//!
+//! * [`config`] — run configuration (EOS, CFL, rotation, gravity).
+//! * [`scenario`] — the verification scenarios of §4.2 (Sod,
+//!   Sedov–Taylor, single star at rest / in motion) and the V1309
+//!   production scenario of §3/§6.
+//! * [`driver`] — the timestep loop: halo exchange → FMM gravity →
+//!   TVD-RK2 hydro update with gravity/rotating-frame sources, with the
+//!   per-leaf work futurized over the `amt` scheduler (the "billions of
+//!   HPX tasks" structure at laptop scale).
+//! * [`diagnostics`] — the conserved-quantity monitors behind the
+//!   paper's machine-precision conservation claims.
+//! * [`regrid`] — dynamic density-driven refinement/coarsening with
+//!   conservative data transfer.
+//! * [`verification`] — §4.2's test suite as callable checks.
+
+pub mod config;
+pub mod diagnostics;
+pub mod driver;
+pub mod regrid;
+pub mod scenario;
+pub mod verification;
+
+pub use config::Config;
+pub use diagnostics::Totals;
+pub use driver::Simulation;
+pub use scenario::Scenario;

@@ -1,0 +1,238 @@
+//! Dynamic regridding.
+//!
+//! Octo-Tiger regrids as the binary evolves (the paper's §6.3 timings
+//! explicitly exclude "regridding steps ... that also make heavy use of
+//! communication"): leaves whose density exceeds a per-level threshold
+//! refine (conservative prolongation), refined nodes whose children
+//! have all dropped below it coarsen (conservative restriction), and
+//! 2:1 balance is re-established by the tree machinery itself.
+
+use octree::subgrid::Field;
+use octree::tree::Octree;
+use util::morton::MortonKey;
+
+/// Density-threshold refinement control.
+#[derive(Debug, Clone, Copy)]
+pub struct RegridPolicy {
+    /// Refine a leaf at level `l` when its peak density exceeds
+    /// `rho_ref * ratio^(l - base_level)`.
+    pub rho_ref: f64,
+    /// Per-level threshold growth (> 1: deeper levels need denser gas).
+    pub ratio: f64,
+    /// Level at which `rho_ref` applies directly.
+    pub base_level: u8,
+    /// Hard refinement ceiling.
+    pub max_level: u8,
+    /// Coarsen when the parent's peak density falls below this fraction
+    /// of the refine threshold (hysteresis to avoid flip-flopping).
+    pub coarsen_fraction: f64,
+}
+
+impl RegridPolicy {
+    /// Threshold at a given level.
+    pub fn threshold(&self, level: u8) -> f64 {
+        self.rho_ref * self.ratio.powi(level as i32 - self.base_level as i32)
+    }
+}
+
+/// Outcome of one regrid pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegridStats {
+    pub refined: usize,
+    pub coarsened: usize,
+}
+
+/// Peak interior density of a leaf.
+fn peak_density(tree: &Octree, key: MortonKey) -> f64 {
+    let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
+    let mut peak = 0.0f64;
+    for (i, j, k) in grid.indexer().interior() {
+        peak = peak.max(grid.at(Field::Rho, i, j, k));
+    }
+    peak
+}
+
+/// One regrid sweep: refine hot leaves, coarsen cold families.
+/// Conservation: prolongation and restriction are the conservative
+/// operators of `octree::prolong`, so every conserved total is
+/// preserved to round-off across the pass (asserted by tests).
+pub fn regrid(tree: &mut Octree, policy: &RegridPolicy) -> RegridStats {
+    let mut stats = RegridStats::default();
+
+    // Refinement pass (may cascade via 2:1 balance; iterate to fixed
+    // point like Octree::refine_where but density-driven).
+    loop {
+        let to_refine: Vec<MortonKey> = tree
+            .leaves()
+            .into_iter()
+            .filter(|k| k.level < policy.max_level)
+            .filter(|k| peak_density(tree, *k) > policy.threshold(k.level))
+            .collect();
+        if to_refine.is_empty() {
+            break;
+        }
+        for key in to_refine {
+            if tree.is_leaf(key) {
+                tree.refine(key);
+                stats.refined += 1;
+            }
+        }
+    }
+
+    // Coarsening pass: a refined node whose children are all leaves and
+    // all below the hysteresis threshold collapses. One sweep only —
+    // deeper collapse happens over subsequent calls, keeping each pass
+    // cheap and balance-safe.
+    let candidates: Vec<MortonKey> = tree
+        .leaves()
+        .into_iter()
+        .filter_map(|k| k.parent())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for parent in candidates {
+        let Some(node) = tree.node(parent) else { continue };
+        if !node.refined {
+            continue;
+        }
+        let all_cold_leaves = (0..8u8).all(|o| {
+            let child = parent.child(o);
+            tree.is_leaf(child)
+                && peak_density(tree, child)
+                    < policy.threshold(child.level) * policy.coarsen_fraction
+        });
+        if !all_cold_leaves {
+            continue;
+        }
+        // Balance: coarsening must not put a level-(l) leaf next to
+        // level-(l+2) leaves; Octree::coarsen asserts this, so probe
+        // first via a conservative check on the neighbors.
+        let safe = octree::tree::DIRECTIONS.iter().all(|&(dx, dy, dz)| {
+            match parent.neighbor(dx, dy, dz) {
+                None => true,
+                Some(nk) => match tree.node(nk) {
+                    None => true,
+                    Some(n) => {
+                        !n.refined
+                            || (0..8u8).all(|o| tree.is_leaf(nk.child(o)))
+                    }
+                },
+            }
+        });
+        if safe {
+            tree.coarsen(parent);
+            stats.coarsened += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octree::geometry::Domain;
+
+    fn policy() -> RegridPolicy {
+        RegridPolicy {
+            rho_ref: 1.0,
+            ratio: 4.0,
+            base_level: 1,
+            max_level: 3,
+            coarsen_fraction: 0.5,
+        }
+    }
+
+    fn paint_blob(tree: &mut Octree, amplitude: f64) {
+        let domain = tree.domain();
+        for key in tree.leaves() {
+            let node = tree.node_mut(key).unwrap();
+            let grid = node.grid.as_mut().unwrap();
+            for (i, j, k) in grid.indexer().interior() {
+                let c = domain.cell_center(key, i, j, k);
+                grid.set(Field::Rho, i, j, k, amplitude * (-c.norm2()).exp() + 1e-6);
+            }
+        }
+        tree.restrict_all();
+    }
+
+    #[test]
+    fn hot_blob_triggers_refinement() {
+        let mut tree = Octree::new(Domain::new(16.0));
+        tree.refine_where(1, |_d, _k| true);
+        paint_blob(&mut tree, 100.0);
+        let before = tree.leaf_count();
+        let stats = regrid(&mut tree, &policy());
+        assert!(stats.refined > 0, "blob must refine");
+        assert!(tree.leaf_count() > before);
+        tree.check_invariants();
+        // The deepest leaves sit on the blob.
+        let domain = tree.domain();
+        for k in tree.leaves() {
+            if k.level == 3 {
+                assert!(domain.node_center(k).norm() < 8.0);
+            }
+        }
+    }
+
+    #[test]
+    fn regrid_conserves_mass_exactly() {
+        let mut tree = Octree::new(Domain::new(16.0));
+        tree.refine_where(1, |_d, _k| true);
+        paint_blob(&mut tree, 50.0);
+        let mass = |t: &Octree| -> f64 {
+            t.leaves()
+                .iter()
+                .map(|k| {
+                    t.node(*k).unwrap().grid.as_ref().unwrap().interior_sum(Field::Rho)
+                        * t.domain().cell_volume(k.level)
+                })
+                .sum()
+        };
+        let before = mass(&tree);
+        regrid(&mut tree, &policy());
+        let after = mass(&tree);
+        assert!(
+            (after - before).abs() < 1e-12 * before,
+            "regrid broke conservation: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn cooled_region_coarsens_back() {
+        let mut tree = Octree::new(Domain::new(16.0));
+        tree.refine_where(1, |_d, _k| true);
+        paint_blob(&mut tree, 100.0);
+        regrid(&mut tree, &policy());
+        let refined_count = tree.leaf_count();
+        // "Cool" the gas: densities drop far below all thresholds.
+        paint_blob(&mut tree, 1e-4);
+        // Several sweeps to collapse level by level.
+        let mut total_coarsened = 0;
+        for _ in 0..4 {
+            total_coarsened += regrid(&mut tree, &policy()).coarsened;
+        }
+        assert!(total_coarsened > 0, "cold gas must coarsen");
+        assert!(tree.leaf_count() < refined_count);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn thresholds_grow_with_level() {
+        let p = policy();
+        assert!(p.threshold(2) > p.threshold(1));
+        assert_eq!(p.threshold(1), 1.0);
+        assert_eq!(p.threshold(2), 4.0);
+    }
+
+    #[test]
+    fn stable_configuration_is_a_fixed_point() {
+        let mut tree = Octree::new(Domain::new(16.0));
+        tree.refine_where(1, |_d, _k| true);
+        paint_blob(&mut tree, 100.0);
+        regrid(&mut tree, &policy());
+        let leaves = tree.leaf_count();
+        let stats = regrid(&mut tree, &policy());
+        assert_eq!(stats, RegridStats::default(), "second pass must be a no-op");
+        assert_eq!(tree.leaf_count(), leaves);
+    }
+}

@@ -1,0 +1,208 @@
+//! The §4.2 verification suite as callable checks.
+//!
+//! "We used a test suite of four verification tests, recommended by
+//! Tasker et al. for self-gravitating astrophysical codes, to verify
+//! the correctness of our results."
+
+use crate::driver::Simulation;
+use crate::scenario::Scenario;
+use hydro::analytic::{sedov, SodSolution};
+use octree::subgrid::Field;
+use util::vec3::Vec3;
+
+/// Result of the Sod test: L1 density error against the exact Riemann
+/// solution, sampled along the x-axis.
+pub struct SodResult {
+    pub t_end: f64,
+    pub l1_density: f64,
+    pub samples: usize,
+}
+
+/// Run the Sod tube to `t_end` and compare to the exact solution.
+pub fn run_sod(level: u8, t_end: f64) -> SodResult {
+    let mut sim = Simulation::new(Scenario::sod(level));
+    while sim.time < t_end && sim.steps < 10_000 {
+        sim.step();
+    }
+    let exact = SodSolution::classic(1.4);
+    let domain = sim.tree().domain();
+    let mut err = 0.0;
+    let mut samples = 0;
+    for key in sim.tree().leaves() {
+        let grid = sim.tree().node(key).unwrap().grid.as_ref().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            // Sample the tube along the axis rows (all y, z — the
+            // problem is 1-D so every row is the same tube).
+            let (rho_exact, _, _) = exact.sample(c.x / sim.time);
+            err += (grid.at(Field::Rho, i, j, k) - rho_exact).abs();
+            samples += 1;
+        }
+    }
+    SodResult {
+        t_end: sim.time,
+        l1_density: err / samples as f64,
+        samples,
+    }
+}
+
+/// Result of the Sedov test: measured vs analytic shock radius.
+pub struct SedovResult {
+    pub t_end: f64,
+    pub r_shock_measured: f64,
+    pub r_shock_analytic: f64,
+    pub max_density_ratio: f64,
+}
+
+/// Run the Sedov blast and measure the shock radius (the outermost
+/// radius where density exceeds the ambient by 20%).
+pub fn run_sedov(level: u8, e0: f64, t_end: f64) -> SedovResult {
+    let mut sim = Simulation::new(Scenario::sedov(level, e0));
+    while sim.time < t_end && sim.steps < 10_000 {
+        sim.step();
+    }
+    let domain = sim.tree().domain();
+    let mut r_shock = 0.0f64;
+    let mut rho_max = 0.0f64;
+    for key in sim.tree().leaves() {
+        let grid = sim.tree().node(key).unwrap().grid.as_ref().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let rho = grid.at(Field::Rho, i, j, k);
+            let r = domain.cell_center(key, i, j, k).norm();
+            if rho > 1.2 {
+                r_shock = r_shock.max(r);
+            }
+            rho_max = rho_max.max(rho);
+        }
+    }
+    SedovResult {
+        t_end: sim.time,
+        r_shock_measured: r_shock,
+        r_shock_analytic: sedov::shock_radius(e0, 1.0, sim.time, 5.0 / 3.0),
+        max_density_ratio: rho_max,
+    }
+}
+
+/// Result of the star-stability tests (§4.2 tests 3 & 4).
+pub struct StarResult {
+    pub t_end: f64,
+    /// Relative drift of the central density.
+    pub central_density_drift: f64,
+    /// Relative mass drift.
+    pub mass_drift: f64,
+    /// Centre-of-mass displacement (relative to the star radius).
+    pub com_drift: f64,
+}
+
+/// Run the (possibly moving) star for `n_steps` and measure structural
+/// drift. For the moving star the centre-of-mass displacement is
+/// compared against the expected advection distance.
+pub fn run_star(level: u8, velocity: Vec3, n_steps: usize) -> StarResult {
+    let scenario = if velocity == Vec3::ZERO {
+        Scenario::single_star(level)
+    } else {
+        Scenario::moving_star(level, velocity)
+    };
+    let mut sim = Simulation::new(scenario);
+    let (rho_c0, mass0, com0) = star_metrics(&sim);
+    for _ in 0..n_steps {
+        sim.step();
+    }
+    let (rho_c1, mass1, com1) = star_metrics(&sim);
+    let expected_com = com0 + velocity * sim.time;
+    StarResult {
+        t_end: sim.time,
+        central_density_drift: ((rho_c1 - rho_c0) / rho_c0).abs(),
+        mass_drift: ((mass1 - mass0) / mass0).abs(),
+        com_drift: (com1 - expected_com).norm(),
+    }
+}
+
+fn star_metrics(sim: &Simulation) -> (f64, f64, Vec3) {
+    let domain = sim.tree().domain();
+    let mut rho_max = 0.0f64;
+    let mut mass = 0.0;
+    let mut com = Vec3::ZERO;
+    for key in sim.tree().leaves() {
+        let grid = sim.tree().node(key).unwrap().grid.as_ref().unwrap();
+        let vol = domain.cell_volume(key.level);
+        for (i, j, k) in grid.indexer().interior() {
+            let rho = grid.at(Field::Rho, i, j, k);
+            let c = domain.cell_center(key, i, j, k);
+            rho_max = rho_max.max(rho);
+            mass += rho * vol;
+            com += c * (rho * vol);
+        }
+    }
+    (rho_max, mass, com / mass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_l1_error_is_small_and_converges() {
+        // Coarse run (16 cells across): the wave structure is crude but
+        // the L1 error must be bounded; the refined run must beat it.
+        let coarse = run_sod(1, 0.15);
+        assert!(coarse.t_end >= 0.15);
+        assert!(
+            coarse.l1_density < 0.06,
+            "coarse L1 = {}",
+            coarse.l1_density
+        );
+        let fine = run_sod(2, 0.15);
+        assert!(
+            fine.l1_density < coarse.l1_density,
+            "refinement must reduce the error: {} vs {}",
+            fine.l1_density,
+            coarse.l1_density
+        );
+    }
+
+    #[test]
+    fn sedov_shock_radius_tracks_similarity_solution() {
+        let res = run_sedov(2, 1.0, 0.03);
+        assert!(res.r_shock_measured > 0.0, "no shock found");
+        let rel = (res.r_shock_measured - res.r_shock_analytic).abs() / res.r_shock_analytic;
+        assert!(
+            rel < 0.35,
+            "shock radius {} vs analytic {} (rel {rel})",
+            res.r_shock_measured,
+            res.r_shock_analytic
+        );
+        // Strong-shock compression bounded by (γ+1)/(γ−1) = 4.
+        assert!(res.max_density_ratio < 4.5);
+        assert!(res.max_density_ratio > 1.3);
+    }
+
+    #[test]
+    fn star_in_equilibrium_is_retained() {
+        // Level 1 resolves the unit-radius star with ~2 cells: mass and
+        // centre stay put to high precision, while the 2-cell density
+        // peak unavoidably diffuses tens of percent in the first steps
+        // (the bound guards against collapse/explosion, not truncation).
+        let res = run_star(1, Vec3::ZERO, 5);
+        assert!(res.mass_drift < 1e-8, "mass drift {}", res.mass_drift);
+        assert!(
+            res.central_density_drift < 0.5,
+            "central density drift {}",
+            res.central_density_drift
+        );
+        assert!(res.com_drift < 0.05, "com drift {}", res.com_drift);
+    }
+
+    #[test]
+    #[ignore = "several minutes: level-2 self-gravitating star"]
+    fn star_in_equilibrium_is_retained_at_level2() {
+        let res = run_star(2, Vec3::ZERO, 5);
+        assert!(res.mass_drift < 1e-8, "mass drift {}", res.mass_drift);
+        assert!(
+            res.central_density_drift < 0.1,
+            "central density drift {}",
+            res.central_density_drift
+        );
+        assert!(res.com_drift < 0.02, "com drift {}", res.com_drift);
+    }
+}

@@ -1,0 +1,34 @@
+//! A simulated GPU co-processor with CUDA-style streams and HPX-style
+//! stream-event futures (paper §5.1).
+//!
+//! The paper's GPU integration has three ingredients, all reproduced
+//! here:
+//!
+//! 1. **Streams**: each device exposes (usually 128) in-order work
+//!    queues. Kernels enqueued on a stream run in order; different
+//!    streams run concurrently on the device ([`stream`]).
+//! 2. **Stream events as futures**: "for any CUDA stream event we create
+//!    an HPX future that becomes ready once operations in the stream (up
+//!    to the point of the event's creation) are finished" — see
+//!    [`stream::CudaStream::record_event`], implemented with the same
+//!    callback mechanism.
+//! 3. **The launch policy**: "when launching a kernel, a thread first
+//!    checks whether all of the CUDA streams it manages are busy. If
+//!    not, the kernel will be launched on the GPU using an idle stream.
+//!    Otherwise, the kernel will be executed on the CPU by the current
+//!    CPU worker thread" ([`launch_policy::StreamPool`]). The §6.1.2
+//!    launch-fraction numbers fall out of this policy.
+//!
+//! Because no physical GPU exists in this reproduction, the device
+//! *executes kernels for real* on a host thread (bit-identical results
+//! to CPU fallback), while [`device::DeviceSpec`] carries the modelled
+//! hardware characteristics (SM count, double-precision peak) that the
+//! `perfmodel` crate uses to regenerate Table 2's GFLOP/s numbers.
+
+pub mod device;
+pub mod launch_policy;
+pub mod stream;
+
+pub use device::{Device, DeviceSpec};
+pub use launch_policy::{LaunchOutcome, LaunchStats, StreamPool};
+pub use stream::CudaStream;

@@ -1,0 +1,222 @@
+//! CUDA-style streams and stream events as futures.
+//!
+//! "For any CUDA stream event we create an HPX future that becomes ready
+//! once operations in the stream (up to the point of the event/future's
+//! creation) are finished. Internally, this is created using a CUDA
+//! callback function that sets the future ready" (§5.1). A
+//! [`CudaStream::record_event`] enqueues exactly such a callback; the
+//! returned [`amt::Future`] integrates GPU completion into the task
+//! graph: continuations attached to it are scheduled the moment the
+//! stream reaches the event.
+
+use crate::device::DeviceShared;
+use amt::{Future, Promise};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A closure executed by the device.
+pub(crate) type StreamOp = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueuedOp {
+    work: Option<StreamOp>,
+    /// Fired after the op completes *and* the stream bookkeeping is
+    /// updated, so `is_idle()` is accurate from continuations.
+    completion: Option<Promise<()>>,
+    /// True for kernels, false for event markers (kernel counters must
+    /// not count events).
+    is_kernel: bool,
+}
+
+/// State shared between a stream handle and the device executor.
+pub(crate) struct StreamShared {
+    queue: Mutex<VecDeque<QueuedOp>>,
+    /// Operations enqueued but not yet completed (queued + executing).
+    outstanding: AtomicUsize,
+    executing: AtomicBool,
+}
+
+impl StreamShared {
+    pub(crate) fn new() -> StreamShared {
+        StreamShared {
+            queue: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(0),
+            executing: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, op: QueuedOp) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push_back(op);
+    }
+
+    /// Pop the next op wrapped with completion bookkeeping. Returns the
+    /// wrapped closure and whether it is a kernel (vs an event marker).
+    pub(crate) fn pop(self: &Arc<Self>) -> Option<(StreamOp, bool)> {
+        let op = self.queue.lock().pop_front()?;
+        self.executing.store(true, Ordering::SeqCst);
+        let me = Arc::clone(self);
+        let is_kernel = op.is_kernel;
+        let wrapped: StreamOp = Box::new(move || {
+            if let Some(work) = op.work {
+                work();
+            }
+            me.executing.store(false, Ordering::SeqCst);
+            me.outstanding.fetch_sub(1, Ordering::SeqCst);
+            if let Some(promise) = op.completion {
+                promise.set_value(());
+            }
+        });
+        Some((wrapped, is_kernel))
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.outstanding.load(Ordering::SeqCst) == 0
+    }
+
+    pub(crate) fn backlog(&self) -> usize {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle to one in-order work queue of a device. Obtain handles from
+/// [`crate::Device::streams`].
+pub struct CudaStream {
+    shared: Arc<StreamShared>,
+    device: Arc<DeviceShared>,
+}
+
+impl CudaStream {
+    pub(crate) fn from_shared(shared: Arc<StreamShared>, device: Arc<DeviceShared>) -> CudaStream {
+        CudaStream { shared, device }
+    }
+
+    /// Enqueue a kernel (any closure). Returns immediately; the device
+    /// executor runs ops of this stream in enqueue order.
+    pub fn enqueue(&self, op: impl FnOnce() + Send + 'static) {
+        self.shared.push(QueuedOp {
+            work: Some(Box::new(op)),
+            completion: None,
+            is_kernel: true,
+        });
+        self.device.work_signal.notify_all();
+    }
+
+    /// Record an event: the returned future becomes ready when every op
+    /// enqueued before this call has finished. This is the HPX CUDA
+    /// future of §5.1.
+    pub fn record_event(&self) -> Future<()> {
+        let (promise, fut) = Promise::new();
+        self.shared.push(QueuedOp {
+            work: None,
+            completion: Some(promise),
+            is_kernel: false,
+        });
+        self.device.work_signal.notify_all();
+        fut
+    }
+
+    /// Whether the stream has no queued or executing work — the test the
+    /// launch policy performs before choosing GPU over CPU fallback.
+    pub fn is_idle(&self) -> bool {
+        self.shared.is_idle()
+    }
+
+    /// Number of operations enqueued but not yet completed.
+    pub fn backlog(&self) -> usize {
+        self.shared.backlog()
+    }
+
+    /// Block the calling thread until the stream drains (like
+    /// `cudaStreamSynchronize`; prefer [`CudaStream::record_event`] plus
+    /// a continuation in task code).
+    pub fn synchronize(&self) {
+        self.record_event().get();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceSpec};
+    use amt::{CounterRegistry, Scheduler};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ops_run_in_order_within_a_stream() {
+        let dev = Device::new(DeviceSpec::p100(), 1);
+        let s = &dev.streams()[0];
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..100 {
+            let log = Arc::clone(&log);
+            s.enqueue(move || log.lock().push(i));
+        }
+        s.synchronize();
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_covers_only_prior_ops() {
+        let dev = Device::new(DeviceSpec::p100(), 1);
+        let s = &dev.streams()[0];
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            s.enqueue(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let ev = s.record_event();
+        // Ops enqueued after the event do not gate it.
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            s.enqueue(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ev.get();
+        assert!(counter.load(Ordering::SeqCst) >= 10);
+        s.synchronize();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let dev = Device::new(DeviceSpec::p100(), 2);
+        let streams = dev.streams();
+        assert!(streams[0].is_idle());
+        let gate = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&gate);
+        streams[0].enqueue(move || {
+            while g.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+            }
+        });
+        assert!(!streams[0].is_idle());
+        assert!(streams[1].is_idle(), "other streams unaffected");
+        gate.store(1, Ordering::SeqCst);
+        streams[0].synchronize();
+        assert!(streams[0].is_idle());
+        assert_eq!(streams[0].backlog(), 0);
+    }
+
+    #[test]
+    fn event_future_chains_into_task_graph() {
+        // The §5.1 integration: a GPU completion triggers a dependent
+        // CPU task through the scheduler.
+        let sched = Scheduler::new(2, Arc::new(CounterRegistry::new()));
+        let dev = Device::new(DeviceSpec::v100(), 4);
+        let s = &dev.streams()[0];
+        let result = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&result);
+        s.enqueue(move || {
+            r.store(21, Ordering::SeqCst);
+        });
+        let r2 = Arc::clone(&result);
+        let done = s
+            .record_event()
+            .then(&sched, move |()| r2.load(Ordering::SeqCst) * 2);
+        assert_eq!(done.get_help(&sched), 42);
+    }
+}

@@ -1,0 +1,88 @@
+//! Direct O(N²) summation — the accuracy reference for the FMM.
+//!
+//! SPH codes "using direct summation for gravity are limited to only a
+//! few thousand particles" (§2); here direct summation serves as the
+//! exact (to round-off) reference the FMM is validated against.
+
+use util::vec3::Vec3;
+
+/// A point mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMass {
+    pub m: f64,
+    pub pos: Vec3,
+}
+
+/// Potential and acceleration at each point from all other points
+/// (G = 1, φ = −Σ m/r).
+pub fn direct_sum(points: &[PointMass]) -> Vec<(f64, Vec3)> {
+    let n = points.len();
+    let mut out = vec![(0.0, Vec3::ZERO); n];
+    for i in 0..n {
+        let mut phi = 0.0;
+        let mut g = Vec3::ZERO;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = points[i].pos - points[j].pos;
+            let r2 = d.norm2();
+            let u = 1.0 / r2.sqrt();
+            let u3 = u / r2;
+            phi -= points[j].m * u;
+            g -= d * (points[j].m * u3);
+        }
+        out[i] = (phi, g);
+    }
+    out
+}
+
+/// Total gravitational potential energy ½ Σᵢ mᵢ φᵢ.
+pub fn potential_energy(points: &[PointMass], phi: &[(f64, Vec3)]) -> f64 {
+    0.5 * points
+        .iter()
+        .zip(phi)
+        .map(|(p, (ph, _))| p.m * ph)
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_body_newton() {
+        let pts = [
+            PointMass { m: 3.0, pos: Vec3::ZERO },
+            PointMass { m: 2.0, pos: Vec3::new(2.0, 0.0, 0.0) },
+        ];
+        let res = direct_sum(&pts);
+        // Acceleration of body 0 toward body 1: m1/r² = 0.5 in +x.
+        assert!((res[0].1.x - 0.5).abs() < 1e-15);
+        // Of body 1 toward body 0: 0.75 in −x.
+        assert!((res[1].1.x + 0.75).abs() < 1e-15);
+        // φ at 0: −2/2 = −1; at 1: −3/2.
+        assert!((res[0].0 + 1.0).abs() < 1e-15);
+        assert!((res[1].0 + 1.5).abs() < 1e-15);
+        // Energy: ½(3·(−1) + 2·(−1.5)) = −3.
+        assert!((potential_energy(&pts, &res) + 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let pts: Vec<PointMass> = (0..20)
+            .map(|i| PointMass {
+                m: 1.0 + (i % 5) as f64,
+                pos: Vec3::new(
+                    (i % 4) as f64,
+                    ((i / 4) % 4) as f64 * 1.3,
+                    (i % 7) as f64 * 0.7,
+                ),
+            })
+            .collect();
+        let res = direct_sum(&pts);
+        let total: Vec3 = pts.iter().zip(&res).map(|(p, (_, g))| *g * p.m).sum();
+        let scale: f64 = pts.iter().zip(&res).map(|(p, (_, g))| (*g * p.m).norm()).sum();
+        assert!(total.norm() < 1e-12 * scale.max(1.0));
+    }
+}

@@ -1,0 +1,327 @@
+//! Taylor (local) expansions and the M2L / L2L operations.
+//!
+//! "The result of these interactions is a Taylor series expansion ...
+//! In the third FMM step ... the respective Taylor series expansion of
+//! the parent node is passed to the child nodes and accumulated" (§4.3).
+//!
+//! A [`LocalExpansion`] carries the potential, its gradient, and its
+//! Hessian about a cell's centre of mass, plus the conservation
+//! bookkeeping: the correction force density and torque density that
+//! make linear and angular momentum conservation exact (see crate
+//! docs).
+
+use crate::multipole::Multipole;
+use crate::tensors::{KernelTensors, SYM2};
+use util::vec3::Vec3;
+
+/// Taylor expansion of the gravitational potential about a point, plus
+/// the pairwise conservation corrections accumulated at that point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LocalExpansion {
+    /// Potential φ.
+    pub phi: f64,
+    /// Gradient ∇φ (acceleration is −∇φ).
+    pub dphi: Vec3,
+    /// Hessian of φ (symmetric storage), used to translate ∇φ in L2L.
+    pub d2phi: [f64; 6],
+    /// Total pair force on the cell from same-level interactions,
+    /// accumulated in mirror-exact canonical terms (see
+    /// [`LocalExpansion::accumulate`]); the conservation-grade quantity
+    /// drivers should use for the momentum update.
+    pub force: Vec3,
+    /// The part of `force` not captured by `−∇φ · m` (the target's own
+    /// quadrupole against source monopole fields).
+    pub f_corr: Vec3,
+    /// Torque residual (half of each pair's), to be deposited into the
+    /// evolved spin fields for exact angular momentum conservation.
+    pub torque: Vec3,
+}
+
+impl LocalExpansion {
+    /// Accumulate the interaction of a source multipole `src` on a
+    /// target with moments `tgt`, separated by `d = tgt.com − src.com`.
+    ///
+    /// The pair force (on the target) to consistent quadrupole order is
+    ///
+    ///   F = −m_t m_s B1 − ½ m_t (q_s:B3) − ½ m_s (q_t:B3).
+    ///
+    /// Every term is computed in a *canonical form* — `B·(−(m_t·m_s))`
+    /// and `(q:B3)·(−0.5·m_other)` — so that when the mirrored call runs
+    /// on the other cell (with d → −d, which negates the odd tensors
+    /// bit-exactly), each term value cancels its counterpart exactly.
+    /// Per-cell sums then leave only additive round-off, which is the
+    /// machine-precision momentum conservation of the paper. The torque
+    /// residual −d × F (identically zero for the B1 part) is split in
+    /// exact halves into `torque` for the spin fields.
+    pub fn accumulate(&mut self, tgt: &Multipole, src: &Multipole, d: Vec3) {
+        let t = KernelTensors::at(d);
+        // Potential and derivatives from the source moments.
+        self.phi += src.m * t.b0 + 0.5 * t.contract_q_b2(&src.q);
+        let grad_quad_s = t.contract_q_b3(&src.q) * 0.5;
+        self.dphi += t.b1 * src.m + grad_quad_s;
+        for n in 0..6 {
+            self.d2phi[n] += src.m * t.b2[n];
+        }
+        // Pair force in canonical, mirror-exact term forms.
+        let f_mono = t.b1 * (-(tgt.m * src.m));
+        let f_qs = t.contract_q_b3(&src.q) * (-0.5 * tgt.m);
+        let f_qt = t.contract_q_b3(&tgt.q) * (-0.5 * src.m);
+        self.force += f_mono;
+        self.force += f_qs;
+        self.force += f_qt;
+        // The f_qt part is not captured by −∇φ·m; expose it separately
+        // so drivers using the φ-gradient path can add it.
+        self.f_corr += f_qt;
+        // Torque residual: only the quadrupole force parts contribute
+        // (d × B1 ∥ d vanishes identically in floating point).
+        let f_quad = f_qs + f_qt;
+        self.torque += -d.cross(f_quad) * 0.5;
+    }
+
+    /// L2L: translate this expansion by `delta` (from the parent cell's
+    /// centre of mass to the child cell's). Only the *field* parts
+    /// (φ, ∇φ, Hessian) translate; the per-cell force/torque ledgers are
+    /// level-local and are zeroed in the result — the solver applies
+    /// them at the level where the interaction happened.
+    pub fn translated(&self, delta: Vec3) -> LocalExpansion {
+        let da = delta.to_array();
+        // phi' = phi + dphi·δ + ½ δ·H·δ
+        let mut quad = 0.0;
+        let mut hdot = Vec3::ZERO;
+        for (n, (a, b)) in SYM2.iter().enumerate() {
+            let mult = if a == b { 1.0 } else { 2.0 };
+            quad += mult * self.d2phi[n] * da[*a] * da[*b];
+            hdot[*a] += self.d2phi[n] * da[*b];
+            if a != b {
+                hdot[*b] += self.d2phi[n] * da[*a];
+            }
+        }
+        LocalExpansion {
+            phi: self.phi + self.dphi.dot(delta) + 0.5 * quad,
+            dphi: self.dphi + hdot,
+            d2phi: self.d2phi,
+            force: Vec3::ZERO,
+            f_corr: Vec3::ZERO,
+            torque: Vec3::ZERO,
+        }
+    }
+
+    /// Add another expansion (e.g. the translated parent expansion).
+    pub fn add(&mut self, other: &LocalExpansion) {
+        self.phi += other.phi;
+        self.dphi += other.dphi;
+        for n in 0..6 {
+            self.d2phi[n] += other.d2phi[n];
+        }
+        self.force += other.force;
+        self.f_corr += other.f_corr;
+        self.torque += other.torque;
+    }
+
+    /// The acceleration this expansion exerts on the cell: −∇φ.
+    pub fn acceleration(&self) -> Vec3 {
+        -self.dphi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monopole_pair_is_newtons_law() {
+        let src = Multipole::monopole(3.0, Vec3::ZERO);
+        let tgt = Multipole::monopole(2.0, Vec3::new(2.0, 0.0, 0.0));
+        let mut l = LocalExpansion::default();
+        l.accumulate(&tgt, &src, tgt.com - src.com);
+        // φ = −m/r = −1.5; g = −∇φ points toward the source with
+        // magnitude m/r² = 0.75.
+        assert!((l.phi - (-1.5)).abs() < 1e-15);
+        let g = l.acceleration();
+        assert!((g.x - (-0.75)).abs() < 1e-15);
+        assert!(g.y.abs() < 1e-15 && g.z.abs() < 1e-15);
+        // Monopole pairs have no corrections.
+        assert_eq!(l.f_corr, Vec3::ZERO);
+        assert_eq!(l.torque, Vec3::ZERO);
+    }
+
+    #[test]
+    fn pair_forces_cancel_to_machine_precision() {
+        // The linear-momentum property: every force *term* cancels its
+        // mirror exactly; the per-cell three-term sums leave only a few
+        // ulps of additive round-off.
+        let a = Multipole {
+            m: 2.5,
+            com: Vec3::new(0.1, -0.2, 0.3),
+            q: [0.4, 0.3, 0.2, 0.1, -0.05, 0.02],
+        };
+        let b = Multipole {
+            m: 1.5,
+            com: Vec3::new(3.1, 1.2, -0.7),
+            q: [0.2, 0.1, 0.3, -0.1, 0.04, 0.03],
+        };
+        let d = a.com - b.com;
+        let mut la = LocalExpansion::default();
+        la.accumulate(&a, &b, d);
+        let mut lb = LocalExpansion::default();
+        lb.accumulate(&b, &a, -d);
+        let residual = (la.force + lb.force).norm();
+        let scale = la.force.norm();
+        assert!(
+            residual <= 8.0 * f64::EPSILON * scale,
+            "momentum residual {residual} at force scale {scale}"
+        );
+    }
+
+    #[test]
+    fn monopole_pair_forces_cancel_bit_exactly() {
+        // With no quadrupoles there is a single force term per side, and
+        // cancellation is bit-exact.
+        let a = Multipole::monopole(2.5, Vec3::new(0.1, -0.2, 0.3));
+        let b = Multipole::monopole(1.5, Vec3::new(3.1, 1.2, -0.7));
+        let d = a.com - b.com;
+        let mut la = LocalExpansion::default();
+        la.accumulate(&a, &b, d);
+        let mut lb = LocalExpansion::default();
+        lb.accumulate(&b, &a, -d);
+        for axis in 0..3 {
+            assert_eq!(la.force[axis].to_bits(), (-lb.force[axis]).to_bits());
+        }
+    }
+
+    #[test]
+    fn pair_torque_halves_close_the_angular_momentum_budget() {
+        let a = Multipole {
+            m: 2.0,
+            com: Vec3::new(0.0, 0.0, 0.0),
+            q: [0.5, 0.2, 0.1, 0.05, 0.0, -0.02],
+        };
+        let b = Multipole {
+            m: 3.0,
+            com: Vec3::new(2.0, 1.0, 0.5),
+            q: [0.1, 0.4, 0.2, -0.03, 0.01, 0.0],
+        };
+        let d = a.com - b.com;
+        let mut la = LocalExpansion::default();
+        la.accumulate(&a, &b, d);
+        let mut lb = LocalExpansion::default();
+        lb.accumulate(&b, &a, -d);
+        // Total orbital torque + deposited spin torques must vanish to
+        // round-off.
+        let orbital = a.com.cross(la.force) + b.com.cross(lb.force);
+        let total = orbital + la.torque + lb.torque;
+        let scale = a.com.cross(la.force).norm().max(la.torque.norm()).max(1.0);
+        assert!(
+            total.norm() <= 64.0 * f64::EPSILON * scale,
+            "angular momentum residual {total:?} at scale {scale}"
+        );
+        // And the two deposited halves agree to round-off.
+        assert!((la.torque - lb.torque).norm() <= 8.0 * f64::EPSILON * la.torque.norm().max(1.0));
+    }
+
+    #[test]
+    fn quadrupole_field_matches_two_point_masses() {
+        // Source: two points at ±1 on x, total m = 2. Its quadrupole
+        // expansion evaluated far away must approach the exact field.
+        let p1 = Multipole::monopole(1.0, Vec3::new(1.0, 0.0, 0.0));
+        let p2 = Multipole::monopole(1.0, Vec3::new(-1.0, 0.0, 0.0));
+        let combined = crate::multipole::Multipole::combine(&[p1, p2]);
+        let target = Multipole::monopole(1.0, Vec3::new(10.0, 4.0, -3.0));
+
+        let mut approx = LocalExpansion::default();
+        approx.accumulate(&target, &combined, target.com - combined.com);
+
+        let mut exact = LocalExpansion::default();
+        exact.accumulate(&target, &p1, target.com - p1.com);
+        exact.accumulate(&target, &p2, target.com - p2.com);
+
+        let rel_phi = (approx.phi - exact.phi).abs() / exact.phi.abs();
+        assert!(rel_phi < 1e-4, "phi error {rel_phi}");
+        let rel_g = (approx.acceleration() - exact.acceleration()).norm()
+            / exact.acceleration().norm();
+        assert!(rel_g < 1e-3, "g error {rel_g}");
+        // And the quadrupole must improve on the bare monopole.
+        let mut mono = LocalExpansion::default();
+        mono.accumulate(
+            &target,
+            &Multipole::monopole(combined.m, combined.com),
+            target.com - combined.com,
+        );
+        let mono_err = (mono.phi - exact.phi).abs();
+        let quad_err = (approx.phi - exact.phi).abs();
+        assert!(quad_err < mono_err, "quadrupole must beat monopole");
+    }
+
+    #[test]
+    fn translation_consistency() {
+        // Evaluating the expansion at a shifted point via L2L must agree
+        // with directly expanding about the shifted point (to the
+        // truncation order).
+        let src = Multipole::monopole(5.0, Vec3::ZERO);
+        let base = Vec3::new(6.0, 2.0, -1.0);
+        let delta = Vec3::new(0.05, -0.04, 0.03);
+        let tgt0 = Multipole::monopole(1.0, base);
+        let tgt1 = Multipole::monopole(1.0, base + delta);
+
+        let mut at_base = LocalExpansion::default();
+        at_base.accumulate(&tgt0, &src, base);
+        let translated = at_base.translated(delta);
+
+        let mut direct = LocalExpansion::default();
+        direct.accumulate(&tgt1, &src, base + delta);
+
+        assert!(
+            (translated.phi - direct.phi).abs() < 1e-6 * direct.phi.abs(),
+            "phi: {} vs {}",
+            translated.phi,
+            direct.phi
+        );
+        assert!(
+            (translated.dphi - direct.dphi).norm() < 1e-3 * direct.dphi.norm(),
+            "dphi: {:?} vs {:?}",
+            translated.dphi,
+            direct.dphi
+        );
+    }
+
+    #[test]
+    fn add_accumulates_all_parts() {
+        let mut a = LocalExpansion {
+            phi: 1.0,
+            dphi: Vec3::new(1.0, 0.0, 0.0),
+            d2phi: [1.0; 6],
+            force: Vec3::new(2.0, 0.0, 0.0),
+            f_corr: Vec3::new(0.5, 0.0, 0.0),
+            torque: Vec3::new(0.0, 0.25, 0.0),
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.phi, 2.0);
+        assert_eq!(a.dphi.x, 2.0);
+        assert_eq!(a.d2phi[3], 2.0);
+        assert_eq!(a.force.x, 4.0);
+        assert_eq!(a.f_corr.x, 1.0);
+        assert_eq!(a.torque.y, 0.5);
+    }
+
+    #[test]
+    fn translation_zeroes_level_local_ledgers() {
+        let mut a = LocalExpansion::default();
+        let src = Multipole {
+            m: 1.0,
+            com: Vec3::ZERO,
+            q: [0.1, 0.2, 0.3, 0.0, 0.0, 0.0],
+        };
+        let tgt = Multipole {
+            m: 1.0,
+            com: Vec3::new(5.0, 0.0, 0.0),
+            q: [0.3, 0.2, 0.1, 0.0, 0.0, 0.0],
+        };
+        a.accumulate(&tgt, &src, tgt.com - src.com);
+        assert!(a.force.norm() > 0.0);
+        let t = a.translated(Vec3::new(0.1, 0.0, 0.0));
+        assert_eq!(t.force, Vec3::ZERO);
+        assert_eq!(t.f_corr, Vec3::ZERO);
+        assert_eq!(t.torque, Vec3::ZERO);
+    }
+}

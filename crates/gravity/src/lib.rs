@@ -1,0 +1,59 @@
+//! The grid-based fast multipole method (FMM) gravity solver — the
+//! computational hotspot of Octo-Tiger (paper §4.3).
+//!
+//! "Our FMM variant operates on the grid cells directly since each grid
+//! cell has a density value which determines its mass. ... We further
+//! differ from other (cell-based) FMM variants ... by conserving not
+//! only linear momentum, but also angular momentum, down to machine
+//! precision."
+//!
+//! The three FMM steps of §4.3 map onto:
+//!
+//! 1. **Bottom-up** ([`solver`]): multipole moments and centres of mass
+//!    of every cell at every level (leaf cells are locally homogeneous —
+//!    point masses; coarser cells aggregate 2×2×2 finer cells by M2M).
+//! 2. **Same-level** ([`kernels`], [`stencil`]): each cell interacts
+//!    with its stencil of close neighbors. Two compute kernels, exactly
+//!    as in the paper: monopole–monopole (12 flops/interaction) and the
+//!    combined multipole kernel (455 flops/interaction). The stencil is
+//!    generated from the two-level opening criterion; with θ = 0.5 it
+//!    has 982 elements (the paper's geometric details give 1074 — same
+//!    structure, slightly different counts; see DESIGN.md).
+//! 3. **Top-down** ([`expansion`]): Taylor expansions pass from parent
+//!    to child cells (L2L) and accumulate.
+//!
+//! **Conservation.** Linear momentum is conserved to machine precision
+//! because every pair interaction is evaluated with exactly mirrored
+//! arithmetic (odd derivative tensors negate exactly in IEEE floating
+//! point). Angular momentum is conserved to machine precision by the
+//! Marcello-style correction: the torque residual of each pair's
+//! multipole force (the part not parallel to the separation) is
+//! accumulated, split exactly in half, into the two cells' evolved spin
+//! fields — the same spin fields the hydro solver uses (§4.2). Property
+//! tests assert both.
+//!
+//! [`interaction_list`] is the array-of-structs interaction-list
+//! baseline that §4.3 reports the stencil/SoA rewrite is 1.9–2.2×
+//! faster than; `benches` regenerates that ablation.
+
+pub mod direct;
+pub mod expansion;
+pub mod interaction_list;
+pub mod kernels;
+pub mod multipole;
+pub mod solver;
+pub mod stencil;
+pub mod tensors;
+
+pub use expansion::LocalExpansion;
+pub use multipole::Multipole;
+pub use solver::{FmmSolver, GravityField};
+pub use stencil::Stencil;
+
+/// Floating point ops per monopole–monopole interaction (paper §4.3).
+pub const MONO_MONO_FLOPS: u64 = 12;
+/// Floating point ops per multipole interaction (paper §4.3).
+pub const MULTI_FLOPS: u64 = 455;
+/// Interactions per kernel launch: 512 cells × 1074 stencil elements
+/// (paper §4.3). Used by the node-level performance model.
+pub const INTERACTIONS_PER_LAUNCH: u64 = 549_888;

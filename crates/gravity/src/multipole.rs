@@ -1,0 +1,152 @@
+//! Cell multipole moments and the upward (P2M / M2M) pass.
+//!
+//! "The first of the three FMM steps requires a bottom up traversal of
+//! the octree datastructure. The fluid density of the cells of the
+//! highest level is the starting point. The multipole moments of every
+//! other cell are then calculated using the multipole moments of its
+//! child cells. We can additionally compute the center of mass for each
+//! refined cell" (§4.3).
+//!
+//! Leaf cells assume locally homogeneous density (as the paper notes in
+//! §2), i.e. they are monopoles at their cell centre. Aggregated cells
+//! carry mass, centre of mass, and second moments about the centre of
+//! mass (the dipole vanishes by construction).
+
+use crate::tensors::SYM2;
+use util::vec3::Vec3;
+
+/// Multipole moments of one cell: mass, centre of mass, and raw second
+/// moments `q_ab = Σ mᵢ δᵢ_a δᵢ_b` about the centre of mass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Multipole {
+    pub m: f64,
+    pub com: Vec3,
+    pub q: [f64; 6],
+}
+
+impl Multipole {
+    /// A leaf cell: homogeneous density → point mass at the cell centre.
+    pub fn monopole(m: f64, center: Vec3) -> Multipole {
+        Multipole { m, com: center, q: [0.0; 6] }
+    }
+
+    /// Whether this is a pure monopole (no second moments).
+    pub fn is_monopole(&self) -> bool {
+        self.q.iter().all(|&v| v == 0.0)
+    }
+
+    /// M2M: combine child multipoles into one. The result's centre of
+    /// mass is the mass-weighted mean; second moments transport by the
+    /// parallel-axis theorem `q'_ab = q_ab + m δ_a δ_b`.
+    pub fn combine(children: &[Multipole]) -> Multipole {
+        let m: f64 = children.iter().map(|c| c.m).sum();
+        if m <= 0.0 {
+            // Massless region: keep a degenerate monopole at the
+            // geometric mean of child positions to stay well-defined.
+            let n = children.len().max(1) as f64;
+            let com = children.iter().map(|c| c.com).sum::<Vec3>() / n;
+            return Multipole { m: 0.0, com, q: [0.0; 6] };
+        }
+        let com = children.iter().map(|c| c.com * c.m).sum::<Vec3>() / m;
+        let mut q = [0.0; 6];
+        for c in children {
+            let d = (c.com - com).to_array();
+            for (n, (a, b)) in SYM2.iter().enumerate() {
+                q[n] += c.q[n] + c.m * d[*a] * d[*b];
+            }
+        }
+        Multipole { m, com, q }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monopole_basics() {
+        let mp = Multipole::monopole(2.0, Vec3::new(1.0, 2.0, 3.0));
+        assert!(mp.is_monopole());
+        assert_eq!(mp.m, 2.0);
+    }
+
+    #[test]
+    fn combine_two_point_masses() {
+        let a = Multipole::monopole(1.0, Vec3::new(-1.0, 0.0, 0.0));
+        let b = Multipole::monopole(1.0, Vec3::new(1.0, 0.0, 0.0));
+        let c = Multipole::combine(&[a, b]);
+        assert_eq!(c.m, 2.0);
+        assert!(c.com.norm() < 1e-15);
+        // q_xx = 1*1 + 1*1 = 2; all others zero.
+        assert!((c.q[0] - 2.0).abs() < 1e-15);
+        for n in 1..6 {
+            assert_eq!(c.q[n], 0.0);
+        }
+        assert!(!c.is_monopole());
+    }
+
+    #[test]
+    fn combine_unequal_masses_weights_com() {
+        let a = Multipole::monopole(3.0, Vec3::new(0.0, 0.0, 0.0));
+        let b = Multipole::monopole(1.0, Vec3::new(4.0, 0.0, 0.0));
+        let c = Multipole::combine(&[a, b]);
+        assert!((c.com.x - 1.0).abs() < 1e-15);
+        // q_xx = 3·1² + 1·3² = 12.
+        assert!((c.q[0] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn massless_combination_is_degenerate() {
+        let a = Multipole::monopole(0.0, Vec3::new(1.0, 0.0, 0.0));
+        let b = Multipole::monopole(0.0, Vec3::new(3.0, 0.0, 0.0));
+        let c = Multipole::combine(&[a, b]);
+        assert_eq!(c.m, 0.0);
+        assert!((c.com.x - 2.0).abs() < 1e-15);
+        assert!(c.is_monopole());
+    }
+
+    #[test]
+    fn combine_is_associative_on_totals() {
+        // ((a+b) + (c+d)) must equal (a+b+c+d) in mass, com, and q up to
+        // round-off.
+        let parts = [
+            Multipole::monopole(1.0, Vec3::new(0.0, 0.0, 0.0)),
+            Multipole::monopole(2.0, Vec3::new(1.0, 0.0, 0.0)),
+            Multipole::monopole(3.0, Vec3::new(0.0, 1.0, 0.0)),
+            Multipole::monopole(4.0, Vec3::new(0.0, 0.0, 1.0)),
+        ];
+        let ab = Multipole::combine(&parts[0..2]);
+        let cd = Multipole::combine(&parts[2..4]);
+        let nested = Multipole::combine(&[ab, cd]);
+        let flat = Multipole::combine(&parts);
+        assert!((nested.m - flat.m).abs() < 1e-14);
+        assert!((nested.com - flat.com).norm() < 1e-14);
+        for n in 0..6 {
+            assert!(
+                (nested.q[n] - flat.q[n]).abs() < 1e-12,
+                "q[{n}]: {} vs {}",
+                nested.q[n],
+                flat.q[n]
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mass_and_com_conserved(ms in proptest::collection::vec(0.1f64..10.0, 2..9),
+                                  xs in proptest::collection::vec(-5.0f64..5.0, 2..9)) {
+            let n = ms.len().min(xs.len());
+            let parts: Vec<Multipole> = (0..n)
+                .map(|i| Multipole::monopole(ms[i], Vec3::new(xs[i], xs[(i+1) % n], 0.0)))
+                .collect();
+            let c = Multipole::combine(&parts);
+            let m: f64 = ms[..n].iter().sum();
+            prop_assert!((c.m - m).abs() < 1e-12 * m);
+            let com: Vec3 = parts.iter().map(|p| p.com * p.m).sum::<Vec3>() / m;
+            prop_assert!((c.com - com).norm() < 1e-12);
+            // q is positive semi-definite on the diagonal.
+            prop_assert!(c.q[0] >= -1e-12 && c.q[1] >= -1e-12 && c.q[2] >= -1e-12);
+        }
+    }
+}

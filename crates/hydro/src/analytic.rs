@@ -1,0 +1,304 @@
+//! Analytic reference solutions for the verification suite (§4.2).
+//!
+//! "We used a test suite of four verification tests, recommended by
+//! Tasker et al. for self-gravitating astrophysical codes ... The first
+//! two are purely hydrodynamic tests: the Sod shock tube and the
+//! Sedov-Taylor blast wave. Both have analytical solutions which we can
+//! use for comparisons."
+//!
+//! * [`SodSolution`] — the exact Riemann solution of the Sod tube,
+//!   computed with a Newton iteration on the star-region pressure
+//!   (Toro's standard two-rarefaction/shock formulation).
+//! * [`sedov`] — the Sedov–Taylor similarity scalings: shock radius
+//!   `R(t) = ξ₀ (E t² / ρ₀)^(1/5)` and the strong-shock jump
+//!   conditions, which the blast-wave test checks.
+
+/// Exact solution of a Riemann problem for the ideal-gas Euler
+/// equations (1-D), specialized for sampling at `x/t`.
+#[derive(Debug, Clone, Copy)]
+pub struct SodSolution {
+    gamma: f64,
+    rho_l: f64,
+    p_l: f64,
+    u_l: f64,
+    rho_r: f64,
+    p_r: f64,
+    u_r: f64,
+    /// Star-region pressure and velocity.
+    p_star: f64,
+    u_star: f64,
+}
+
+impl SodSolution {
+    /// The classic Sod initial condition: (ρ, u, p) = (1, 0, 1) left,
+    /// (0.125, 0, 0.1) right.
+    pub fn classic(gamma: f64) -> SodSolution {
+        Self::new(gamma, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+    }
+
+    /// General two-state Riemann problem.
+    pub fn new(
+        gamma: f64,
+        rho_l: f64,
+        u_l: f64,
+        p_l: f64,
+        rho_r: f64,
+        u_r: f64,
+        p_r: f64,
+    ) -> SodSolution {
+        assert!(rho_l > 0.0 && rho_r > 0.0 && p_l > 0.0 && p_r > 0.0);
+        let (p_star, u_star) =
+            solve_star(gamma, rho_l, u_l, p_l, rho_r, u_r, p_r);
+        SodSolution { gamma, rho_l, p_l, u_l, rho_r, p_r, u_r, p_star, u_star }
+    }
+
+    /// Star-region pressure (for tests).
+    pub fn p_star(&self) -> f64 {
+        self.p_star
+    }
+
+    /// Star-region velocity.
+    pub fn u_star(&self) -> f64 {
+        self.u_star
+    }
+
+    /// Sample (ρ, u, p) at similarity coordinate `xi = x/t` (interface
+    /// at x = 0).
+    pub fn sample(&self, xi: f64) -> (f64, f64, f64) {
+        let g = self.gamma;
+        let (p_s, u_s) = (self.p_star, self.u_star);
+        if xi <= u_s {
+            // Left of the contact.
+            let (rho, p, u) = (self.rho_l, self.p_l, self.u_l);
+            let c = (g * p / rho).sqrt();
+            if p_s > p {
+                // Left shock.
+                let ratio = p_s / p;
+                let sl = u - c * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+                if xi < sl {
+                    (rho, u, p)
+                } else {
+                    let rho_s = rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    (rho_s, u_s, p_s)
+                }
+            } else {
+                // Left rarefaction.
+                let c_s = c * (p_s / p).powf((g - 1.0) / (2.0 * g));
+                let head = u - c;
+                let tail = u_s - c_s;
+                if xi < head {
+                    (rho, u, p)
+                } else if xi > tail {
+                    let rho_s = rho * (p_s / p).powf(1.0 / g);
+                    (rho_s, u_s, p_s)
+                } else {
+                    // Inside the fan.
+                    let u_f = 2.0 / (g + 1.0) * (c + (g - 1.0) / 2.0 * u + xi);
+                    let c_f = u_f - xi;
+                    let rho_f = rho * (c_f / c).powf(2.0 / (g - 1.0));
+                    let p_f = p * (c_f / c).powf(2.0 * g / (g - 1.0));
+                    (rho_f, u_f, p_f)
+                }
+            }
+        } else {
+            // Right of the contact (mirror).
+            let (rho, p, u) = (self.rho_r, self.p_r, self.u_r);
+            let c = (g * p / rho).sqrt();
+            if p_s > p {
+                // Right shock.
+                let ratio = p_s / p;
+                let sr = u + c * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+                if xi > sr {
+                    (rho, u, p)
+                } else {
+                    let rho_s = rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    (rho_s, u_s, p_s)
+                }
+            } else {
+                // Right rarefaction.
+                let c_s = c * (p_s / p).powf((g - 1.0) / (2.0 * g));
+                let head = u + c;
+                let tail = u_s + c_s;
+                if xi > head {
+                    (rho, u, p)
+                } else if xi < tail {
+                    let rho_s = rho * (p_s / p).powf(1.0 / g);
+                    (rho_s, u_s, p_s)
+                } else {
+                    let u_f = 2.0 / (g + 1.0) * (-c + (g - 1.0) / 2.0 * u + xi);
+                    let c_f = xi - u_f;
+                    let rho_f = rho * (c_f / c).powf(2.0 / (g - 1.0));
+                    let p_f = p * (c_f / c).powf(2.0 * g / (g - 1.0));
+                    (rho_f, u_f, p_f)
+                }
+            }
+        }
+    }
+}
+
+/// Toro's pressure function f(p; state) and derivative.
+fn pressure_fn(g: f64, p: f64, rho_k: f64, p_k: f64) -> (f64, f64) {
+    if p > p_k {
+        // Shock branch.
+        let a = 2.0 / ((g + 1.0) * rho_k);
+        let b = (g - 1.0) / (g + 1.0) * p_k;
+        let sq = (a / (p + b)).sqrt();
+        let f = (p - p_k) * sq;
+        let df = sq * (1.0 - (p - p_k) / (2.0 * (p + b)));
+        (f, df)
+    } else {
+        // Rarefaction branch.
+        let c_k = (g * p_k / rho_k).sqrt();
+        let pr = p / p_k;
+        let f = 2.0 * c_k / (g - 1.0) * (pr.powf((g - 1.0) / (2.0 * g)) - 1.0);
+        let df = 1.0 / (rho_k * c_k) * pr.powf(-(g + 1.0) / (2.0 * g));
+        (f, df)
+    }
+}
+
+/// Newton solve for the star-region pressure and velocity.
+fn solve_star(
+    g: f64,
+    rho_l: f64,
+    u_l: f64,
+    p_l: f64,
+    rho_r: f64,
+    u_r: f64,
+    p_r: f64,
+) -> (f64, f64) {
+    let du = u_r - u_l;
+    let mut p = 0.5 * (p_l + p_r).max(1e-12);
+    for _ in 0..100 {
+        let (fl, dfl) = pressure_fn(g, p, rho_l, p_l);
+        let (fr, dfr) = pressure_fn(g, p, rho_r, p_r);
+        let f = fl + fr + du;
+        let step = f / (dfl + dfr);
+        let p_new = (p - step).max(1e-12);
+        if (p_new - p).abs() < 1e-14 * p {
+            p = p_new;
+            break;
+        }
+        p = p_new;
+    }
+    let (fl, _) = pressure_fn(g, p, rho_l, p_l);
+    let (fr, _) = pressure_fn(g, p, rho_r, p_r);
+    let u = 0.5 * (u_l + u_r) + 0.5 * (fr - fl);
+    (p, u)
+}
+
+/// Sedov–Taylor similarity quantities.
+pub mod sedov {
+    /// Shock radius at time `t` for blast energy `e0` in a uniform
+    /// medium of density `rho0`: `R = xi0 (e0 t² / rho0)^(1/5)`.
+    /// `xi0` ≈ 1.1527 for γ = 5/3 (Sedov's dimensionless constant).
+    pub fn shock_radius(e0: f64, rho0: f64, t: f64, gamma: f64) -> f64 {
+        xi0(gamma) * (e0 * t * t / rho0).powf(0.2)
+    }
+
+    /// Shock speed dR/dt.
+    pub fn shock_speed(e0: f64, rho0: f64, t: f64, gamma: f64) -> f64 {
+        0.4 * shock_radius(e0, rho0, t, gamma) / t
+    }
+
+    /// Post-shock density from the strong-shock jump conditions:
+    /// `rho = rho0 (γ+1)/(γ−1)`.
+    pub fn post_shock_density(rho0: f64, gamma: f64) -> f64 {
+        rho0 * (gamma + 1.0) / (gamma - 1.0)
+    }
+
+    /// Sedov's dimensionless constant ξ₀ (energy-integral
+    /// normalization), tabulated for the two γ values used in the
+    /// workspace and interpolated otherwise.
+    pub fn xi0(gamma: f64) -> f64 {
+        // Known values: γ = 1.4 → 1.033; γ = 5/3 → 1.1527 (spherical).
+        let pts = [(1.4, 1.033), (5.0 / 3.0, 1.1527)];
+        if gamma <= pts[0].0 {
+            return pts[0].1;
+        }
+        if gamma >= pts[1].0 {
+            return pts[1].1;
+        }
+        let t = (gamma - pts[0].0) / (pts[1].0 - pts[0].0);
+        pts[0].1 + t * (pts[1].1 - pts[0].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_star_state_matches_literature() {
+        // Toro's Test 1 (γ = 1.4): p* = 0.30313, u* = 0.92745.
+        let s = SodSolution::classic(1.4);
+        assert!((s.p_star() - 0.30313).abs() < 1e-4, "p* = {}", s.p_star());
+        assert!((s.u_star() - 0.92745).abs() < 1e-4, "u* = {}", s.u_star());
+    }
+
+    #[test]
+    fn sod_sampling_limits() {
+        let s = SodSolution::classic(1.4);
+        // Far left: unperturbed left state.
+        let (rho, u, p) = s.sample(-10.0);
+        assert_eq!((rho, u, p), (1.0, 0.0, 1.0));
+        // Far right: unperturbed right state.
+        let (rho, u, p) = s.sample(10.0);
+        assert_eq!((rho, u, p), (0.125, 0.0, 0.1));
+    }
+
+    #[test]
+    fn sod_contact_discontinuity_has_continuous_pressure() {
+        let s = SodSolution::classic(1.4);
+        let eps = 1e-6;
+        let (rho_m, u_m, p_m) = s.sample(s.u_star() - eps);
+        let (rho_p, u_p, p_p) = s.sample(s.u_star() + eps);
+        assert!((p_m - p_p).abs() < 1e-4, "pressure jumps at contact");
+        assert!((u_m - u_p).abs() < 1e-4, "velocity jumps at contact");
+        assert!(rho_m != rho_p, "density must jump at the contact");
+    }
+
+    #[test]
+    fn sod_profile_is_physical() {
+        let s = SodSolution::classic(1.4);
+        let mut xi = -2.0;
+        while xi < 2.0 {
+            let (rho, _u, p) = s.sample(xi);
+            assert!(rho > 0.0 && p > 0.0, "negative state at xi = {xi}");
+            xi += 0.01;
+        }
+    }
+
+    #[test]
+    fn symmetric_problem_has_zero_contact_velocity() {
+        let s = SodSolution::new(1.4, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0);
+        assert!(s.u_star().abs() < 1e-12);
+        assert!((s.p_star() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn strong_shock_limit_density_ratio() {
+        // Very strong left shock: star density approaches (γ+1)/(γ-1) ρ.
+        let g = 5.0 / 3.0;
+        let s = SodSolution::new(g, 1.0, 0.0, 1000.0, 1.0, 0.0, 1e-6);
+        let (rho, _, _) = s.sample(s.u_star() + 1e-3);
+        let limit = (g + 1.0) / (g - 1.0);
+        assert!(rho < limit + 0.5, "post-shock density {rho} beyond limit {limit}");
+        assert!(rho > 0.5 * limit, "post-shock density {rho} far from limit {limit}");
+    }
+
+    #[test]
+    fn sedov_scalings() {
+        let (e0, rho0, g) = (1.0, 1.0, 5.0 / 3.0);
+        let r1 = sedov::shock_radius(e0, rho0, 1.0, g);
+        let r32 = sedov::shock_radius(e0, rho0, 32.0, g);
+        // R ∝ t^(2/5): t -> 32 t multiplies R by 4.
+        assert!((r32 / r1 - 4.0).abs() < 1e-12);
+        assert!((sedov::post_shock_density(1.0, g) - 4.0).abs() < 1e-12);
+        // Energy scaling: E -> 32 E also multiplies R by 2.
+        let r_e = sedov::shock_radius(32.0 * e0, rho0, 1.0, g);
+        assert!((r_e / r1 - 2.0).abs() < 1e-12);
+        assert!(sedov::shock_speed(e0, rho0, 1.0, g) > 0.0);
+        // xi0 interpolation midpoint sanity.
+        assert!(sedov::xi0(1.5) > 1.033 && sedov::xi0(1.5) < 1.1527);
+    }
+}

@@ -1,0 +1,175 @@
+//! Physical Euler fluxes and the Kurganov–Tadmor central numerical flux.
+//!
+//! "Octo-Tiger uses the central advection scheme of [Kurganov & Tadmor
+//! 2000]" (§4.2): a Riemann-solver-free central scheme whose numerical
+//! flux is the average of the physical fluxes of the reconstructed
+//! left/right states plus local-signal-speed dissipation,
+//!
+//! F½ = ½ (F(u_L) + F(u_R)) − ½ a (u_R − u_L),  a = max(|u|+c).
+//!
+//! All 14 evolved fields travel through the same flux: passive scalars
+//! and the spin fields advect with the flow ("evolved using the same
+//! continuity equation that describes the evolution of the mass
+//! density"); momentum carries the pressure term; total energy carries
+//! the pressure-work term.
+
+use crate::eos::IdealGas;
+use crate::prim::Primitive;
+use octree::subgrid::{Field, FIELD_COUNT};
+use util::vec3::Vec3;
+
+/// A full per-cell state (or flux) vector in field storage order.
+pub type StateVec = [f64; FIELD_COUNT];
+
+/// Extract the primitive state from a conserved state vector.
+pub fn primitive_of(eos: &IdealGas, u: &StateVec) -> Primitive {
+    Primitive::from_conserved(
+        eos,
+        u[Field::Rho.idx()],
+        Vec3::new(u[Field::Sx.idx()], u[Field::Sy.idx()], u[Field::Sz.idx()]),
+        u[Field::Egas.idx()],
+        u[Field::Tau.idx()],
+    )
+}
+
+/// The physical flux of `u` along `axis` (0 = x, 1 = y, 2 = z), plus the
+/// local signal speed |u_axis| + c.
+pub fn physical_flux(eos: &IdealGas, u: &StateVec, axis: usize) -> (StateVec, f64) {
+    let prim = primitive_of(eos, u);
+    let ua = prim.vel[axis];
+    let mut f = [0.0; FIELD_COUNT];
+    // Everything advects...
+    for i in 0..FIELD_COUNT {
+        f[i] = u[i] * ua;
+    }
+    // ...momentum additionally carries pressure...
+    f[Field::Sx.idx() + axis] += prim.p;
+    // ...and energy carries pressure work.
+    f[Field::Egas.idx()] = (u[Field::Egas.idx()] + prim.p) * ua;
+    (f, prim.signal_speed(eos, axis))
+}
+
+/// Kurganov–Tadmor numerical flux between reconstructed states `left`
+/// (the minus side of the face) and `right` (the plus side).
+pub fn kt_flux(eos: &IdealGas, left: &StateVec, right: &StateVec, axis: usize) -> StateVec {
+    let (fl, al) = physical_flux(eos, left, axis);
+    let (fr, ar) = physical_flux(eos, right, axis);
+    let a = al.max(ar);
+    let mut f = [0.0; FIELD_COUNT];
+    for i in 0..FIELD_COUNT {
+        f[i] = 0.5 * (fl[i] + fr[i]) - 0.5 * a * (right[i] - left[i]);
+    }
+    f
+}
+
+/// Build a state vector from a primitive plus tracer values (spin and
+/// scalars zero). Test/setup helper.
+pub fn state_from_primitive(eos: &IdealGas, p: &Primitive) -> StateVec {
+    let (rho, s, egas, tau) = p.to_conserved(eos);
+    let mut u = [0.0; FIELD_COUNT];
+    u[Field::Rho.idx()] = rho;
+    u[Field::Sx.idx()] = s.x;
+    u[Field::Sy.idx()] = s.y;
+    u[Field::Sz.idx()] = s.z;
+    u[Field::Egas.idx()] = egas;
+    u[Field::Tau.idx()] = tau;
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rho: f64, v: Vec3, e_int: f64) -> StateVec {
+        let eos = IdealGas::monatomic();
+        state_from_primitive(
+            &eos,
+            &Primitive { rho, vel: v, p: eos.pressure(e_int), e_int },
+        )
+    }
+
+    #[test]
+    fn flux_of_static_gas_is_pure_pressure() {
+        let eos = IdealGas::monatomic();
+        let u = state(1.0, Vec3::ZERO, 3.0);
+        for axis in 0..3 {
+            let (f, a) = physical_flux(&eos, &u, axis);
+            assert_eq!(f[Field::Rho.idx()], 0.0);
+            assert_eq!(f[Field::Egas.idx()], 0.0);
+            // Only the momentum component along `axis` carries pressure.
+            for other in 0..3 {
+                let v = f[Field::Sx.idx() + other];
+                if other == axis {
+                    assert!((v - eos.pressure(3.0)).abs() < 1e-14);
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+            assert!(a > 0.0, "sound speed must be positive");
+        }
+    }
+
+    #[test]
+    fn advective_flux_scales_with_velocity() {
+        let eos = IdealGas::monatomic();
+        let u = state(2.0, Vec3::new(3.0, 0.0, 0.0), 1.0);
+        let (f, _) = physical_flux(&eos, &u, 0);
+        assert!((f[Field::Rho.idx()] - 6.0).abs() < 1e-14);
+        // s_x u + p = 2*3*3 + (2/3)*1.
+        assert!((f[Field::Sx.idx()] - (18.0 + 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kt_flux_of_identical_states_is_physical_flux() {
+        let eos = IdealGas::monatomic();
+        let u = state(1.5, Vec3::new(0.5, -0.25, 0.1), 2.0);
+        for axis in 0..3 {
+            let (f, _) = physical_flux(&eos, &u, axis);
+            let kt = kt_flux(&eos, &u, &u, axis);
+            for i in 0..FIELD_COUNT {
+                assert!((kt[i] - f[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn kt_flux_dissipates_jumps() {
+        // A density jump with identical velocity/pressure: the KT flux
+        // must transport mass from high to low density (upwinding via
+        // the dissipation term).
+        let eos = IdealGas::monatomic();
+        let l = state(2.0, Vec3::ZERO, 1.0);
+        let r = state(1.0, Vec3::ZERO, 1.0);
+        let f = kt_flux(&eos, &l, &r, 0);
+        assert!(
+            f[Field::Rho.idx()] > 0.0,
+            "mass must flow toward the low-density side"
+        );
+    }
+
+    #[test]
+    fn passive_scalars_advect_with_the_flow() {
+        let eos = IdealGas::monatomic();
+        let mut u = state(1.0, Vec3::new(2.0, 0.0, 0.0), 1.0);
+        u[Field::DonorCore.idx()] = 0.25;
+        let (f, _) = physical_flux(&eos, &u, 0);
+        assert!((f[Field::DonorCore.idx()] - 0.5).abs() < 1e-14);
+        // Spin fields advect the same way.
+        u[Field::Lz.idx()] = 4.0;
+        let (f, _) = physical_flux(&eos, &u, 0);
+        assert!((f[Field::Lz.idx()] - 8.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn flux_is_antisymmetric_under_velocity_reversal() {
+        let eos = IdealGas::monatomic();
+        let up = state(1.0, Vec3::new(1.0, 0.0, 0.0), 2.0);
+        let un = state(1.0, Vec3::new(-1.0, 0.0, 0.0), 2.0);
+        let (fp, _) = physical_flux(&eos, &up, 0);
+        let (fn_, _) = physical_flux(&eos, &un, 0);
+        assert!((fp[Field::Rho.idx()] + fn_[Field::Rho.idx()]).abs() < 1e-14);
+        assert!((fp[Field::Egas.idx()] + fn_[Field::Egas.idx()]).abs() < 1e-14);
+        // Momentum flux (ρu² + p) is symmetric instead.
+        assert!((fp[Field::Sx.idx()] - fn_[Field::Sx.idx()]).abs() < 1e-14);
+    }
+}

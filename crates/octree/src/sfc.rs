@@ -1,0 +1,237 @@
+//! Space-filling-curve distribution and the halo-communication census.
+//!
+//! "These octree nodes are distributed onto the compute nodes using a
+//! space filling curve" (§4.2). Leaves sorted along the Morton curve are
+//! split into contiguous, load-balanced chunks, one per locality.
+//! [`halo_census`] then counts, for a given assignment, the halo
+//! messages and bytes each locality exchanges per timestep — the
+//! workload description that drives the Figure 2/3 scaling model
+//! (communication grows with the partition surface, computation with
+//! its volume).
+
+use crate::subgrid::{SubGrid, FIELD_COUNT};
+use crate::tree::{Neighbor, Octree, DIRECTIONS};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use util::morton::MortonKey;
+
+/// Compare two keys (of possibly different levels) along the space
+/// filling curve: codes are aligned to a common depth; ancestors sort
+/// before their descendants.
+pub fn curve_cmp(a: MortonKey, b: MortonKey) -> Ordering {
+    let depth = a.level.max(b.level);
+    let ca = (a.code as u128) << (3 * (depth - a.level) as u32);
+    let cb = (b.code as u128) << (3 * (depth - b.level) as u32);
+    ca.cmp(&cb).then(a.level.cmp(&b.level))
+}
+
+/// Assign `leaves` (must be in curve order) to `n_parts` contiguous,
+/// count-balanced chunks. Returns the partition index per leaf.
+pub fn partition(leaves: &[MortonKey], n_parts: usize) -> HashMap<MortonKey, usize> {
+    assert!(n_parts > 0, "need at least one partition");
+    let n = leaves.len();
+    let mut out = HashMap::with_capacity(n);
+    for (i, &key) in leaves.iter().enumerate() {
+        // Balanced contiguous chunks: leaf i goes to floor(i*P/n).
+        let part = if n == 0 { 0 } else { i * n_parts / n };
+        out.insert(key, part.min(n_parts - 1));
+    }
+    out
+}
+
+/// Communication census for one timestep's halo exchange.
+#[derive(Debug, Clone, Default)]
+pub struct CommCensus {
+    /// Messages whose sender and receiver are the same locality.
+    pub local_msgs: u64,
+    /// Messages crossing locality boundaries.
+    pub remote_msgs: u64,
+    /// Total bytes crossing locality boundaries.
+    pub remote_bytes: u64,
+    /// Per-locality (received remote messages, received remote bytes,
+    /// resident sub-grids).
+    pub per_locality: Vec<LocalityLoad>,
+}
+
+/// Load description of one locality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalityLoad {
+    pub subgrids: u64,
+    pub recv_msgs: u64,
+    pub recv_bytes: u64,
+    pub send_msgs: u64,
+    pub send_bytes: u64,
+}
+
+impl CommCensus {
+    /// The busiest locality by received messages.
+    pub fn max_recv_msgs(&self) -> u64 {
+        self.per_locality.iter().map(|l| l.recv_msgs).max().unwrap_or(0)
+    }
+
+    /// The largest number of sub-grids on any locality.
+    pub fn max_subgrids(&self) -> u64 {
+        self.per_locality.iter().map(|l| l.subgrids).max().unwrap_or(0)
+    }
+}
+
+/// Count the halo messages a timestep requires under `assignment`.
+/// Every (leaf, direction) pair with an in-domain neighbor produces one
+/// message per sending sub-grid (finer neighbors send one message per
+/// adjacent child, as in Octo-Tiger's per-node channels).
+pub fn halo_census(
+    tree: &Octree,
+    assignment: &HashMap<MortonKey, usize>,
+    n_parts: usize,
+) -> CommCensus {
+    let mut census = CommCensus {
+        per_locality: vec![LocalityLoad::default(); n_parts],
+        ..Default::default()
+    };
+    for &part in assignment.values() {
+        census.per_locality[part].subgrids += 1;
+    }
+    let halo_bytes = |dir: (i32, i32, i32)| -> u64 {
+        (SubGrid::halo_len(dir) * FIELD_COUNT * std::mem::size_of::<f64>()) as u64
+    };
+    for leaf in tree.leaves() {
+        let dst = *assignment.get(&leaf).expect("every leaf must be assigned");
+        for dir in DIRECTIONS {
+            let senders: Vec<MortonKey> = match tree.neighbor(leaf, dir) {
+                Neighbor::Boundary => continue,
+                Neighbor::SameLevel(k) | Neighbor::Coarser(k) => vec![k],
+                Neighbor::Finer(children) => children,
+            };
+            for sender in senders {
+                let src = *assignment.get(&sender).expect("sender must be assigned");
+                let bytes = halo_bytes(dir);
+                if src == dst {
+                    census.local_msgs += 1;
+                } else {
+                    census.remote_msgs += 1;
+                    census.remote_bytes += bytes;
+                    census.per_locality[dst].recv_msgs += 1;
+                    census.per_locality[dst].recv_bytes += bytes;
+                    census.per_locality[src].send_msgs += 1;
+                    census.per_locality[src].send_bytes += bytes;
+                }
+            }
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Domain;
+
+    fn refined_tree(levels: u8) -> Octree {
+        let mut t = Octree::structure_only(Domain::new(16.0));
+        t.refine_where(levels, |d, k| d.node_center(k).norm() < 6.0);
+        t
+    }
+
+    #[test]
+    fn curve_cmp_orders_siblings() {
+        let p = MortonKey::new(2, 1, 1, 1);
+        for o in 0..7u8 {
+            assert_eq!(curve_cmp(p.child(o), p.child(o + 1)), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn curve_cmp_ancestor_before_descendant() {
+        let p = MortonKey::new(3, 2, 5, 1);
+        assert_eq!(curve_cmp(p, p.child(0)), Ordering::Less);
+        assert_eq!(curve_cmp(p.child(0), p), Ordering::Greater);
+        assert_eq!(curve_cmp(p, p), Ordering::Equal);
+    }
+
+    #[test]
+    fn curve_cmp_descendants_stay_within_parent_range() {
+        // All descendants of parent's child 3 sort before child 4.
+        let p = MortonKey::new(1, 0, 1, 0);
+        let c3 = p.child(3);
+        let c4 = p.child(4);
+        for o in 0..8 {
+            assert_eq!(curve_cmp(c3.child(o), c4), Ordering::Less);
+            assert_eq!(curve_cmp(c4.child(o), c3), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let t = refined_tree(3);
+        let leaves = t.leaves();
+        let n_parts = 7;
+        let asg = partition(&leaves, n_parts);
+        // Contiguity: partition indices are non-decreasing in curve order.
+        let mut last = 0;
+        for leaf in &leaves {
+            let p = asg[leaf];
+            assert!(p >= last, "partition must be monotone along the curve");
+            last = p;
+        }
+        // Balance: counts differ by at most 1.
+        let mut counts = vec![0usize; n_parts];
+        for p in asg.values() {
+            counts[*p] += 1;
+        }
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(mx - mn <= 1, "counts {counts:?} not balanced");
+    }
+
+    #[test]
+    fn single_partition_has_no_remote_traffic() {
+        let t = refined_tree(2);
+        let leaves = t.leaves();
+        let asg = partition(&leaves, 1);
+        let census = halo_census(&t, &asg, 1);
+        assert_eq!(census.remote_msgs, 0);
+        assert_eq!(census.remote_bytes, 0);
+        assert!(census.local_msgs > 0);
+        assert_eq!(census.per_locality[0].subgrids, leaves.len() as u64);
+    }
+
+    #[test]
+    fn more_partitions_mean_more_remote_messages() {
+        let t = refined_tree(3);
+        let leaves = t.leaves();
+        let total_msgs: u64;
+        {
+            let asg = partition(&leaves, 1);
+            let c = halo_census(&t, &asg, 1);
+            total_msgs = c.local_msgs;
+        }
+        let mut last_remote = 0;
+        for n_parts in [2, 4, 8, 16] {
+            let asg = partition(&leaves, n_parts);
+            let c = halo_census(&t, &asg, n_parts);
+            // Total message count is partition-invariant.
+            assert_eq!(c.local_msgs + c.remote_msgs, total_msgs);
+            assert!(
+                c.remote_msgs >= last_remote,
+                "remote messages should grow with partitions"
+            );
+            last_remote = c.remote_msgs;
+        }
+    }
+
+    #[test]
+    fn send_and_recv_totals_agree() {
+        let t = refined_tree(3);
+        let leaves = t.leaves();
+        let n_parts = 5;
+        let asg = partition(&leaves, n_parts);
+        let c = halo_census(&t, &asg, n_parts);
+        let sent: u64 = c.per_locality.iter().map(|l| l.send_msgs).sum();
+        let recvd: u64 = c.per_locality.iter().map(|l| l.recv_msgs).sum();
+        assert_eq!(sent, c.remote_msgs);
+        assert_eq!(recvd, c.remote_msgs);
+        let sent_b: u64 = c.per_locality.iter().map(|l| l.send_bytes).sum();
+        assert_eq!(sent_b, c.remote_bytes);
+        assert!(c.max_recv_msgs() > 0);
+        assert!(c.max_subgrids() > 0);
+    }
+}

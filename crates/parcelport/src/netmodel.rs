@@ -1,0 +1,206 @@
+//! Quantitative cost models for the two parcelports.
+//!
+//! §6.3 attributes the libfabric gains to: explicit RMA for halo buffers,
+//! lower latency on all parcels, direct control of memory copies, reduced
+//! overhead between a completion event and setting the ready future, and
+//! a lock-free interface between scheduling loop and network API. The
+//! MPI backend by contrast pays tag matching, extra copies, and an
+//! internally locked progress engine.
+//!
+//! [`NetParams`] encodes those differences as numbers. The absolute
+//! values are calibrated for a Cray Aries-class interconnect (Piz Daint,
+//! Table 3) such that the *shape* of Figures 2 and 3 is reproduced; the
+//! paper does not publish raw latencies, so these are engineering
+//! estimates documented here:
+//!
+//! * Aries one-sided RMA latency ≈ 1.3 µs; MPI pt2pt ≈ 2.5 µs.
+//! * Per-message CPU overhead: matching + copies for MPI, none beyond
+//!   descriptor handling for libfabric.
+//! * Progress serialization: MPI progress is effectively serialized by an
+//!   internal lock, so concurrent injection by the 12 worker threads of a
+//!   Piz Daint node contends; libfabric completion polling is lock-free.
+//! * Polling tax: libfabric polls from the scheduler loop; when all cores
+//!   are busy with compute (low node counts) this steals a small slice of
+//!   CPU, which is why Fig. 3 dips slightly below 1.0 there.
+
+use serde::{Deserialize, Serialize};
+
+/// Which backend a parameter set (or live transport) models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Two-sided MPI (Isend/Irecv) parcelport.
+    Mpi,
+    /// One-sided RMA libfabric parcelport.
+    Libfabric,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Mpi => write!(f, "MPI"),
+            TransportKind::Libfabric => write!(f, "libfabric"),
+        }
+    }
+}
+
+/// Cost model for one transport on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetParams {
+    pub kind: TransportKind,
+    /// One-way small-message latency, microseconds.
+    pub latency_us: f64,
+    /// Sustained point-to-point bandwidth, GB/s.
+    pub bandwidth_gb_s: f64,
+    /// CPU time consumed on the *receiving* side per message (matching,
+    /// unpacking, future set-up), microseconds.
+    pub per_msg_recv_cpu_us: f64,
+    /// CPU time consumed on the *sending* side per message (packing,
+    /// injection), microseconds.
+    pub per_msg_send_cpu_us: f64,
+    /// Number of extra payload copies on the path (0 = zero-copy RMA).
+    pub payload_copies: u32,
+    /// Memory copy bandwidth for those extra copies, GB/s.
+    pub copy_bandwidth_gb_s: f64,
+    /// Eager/rendezvous threshold in bytes; messages above it pay an
+    /// extra round-trip handshake (two-sided) or an RMA-get descriptor
+    /// exchange (one-sided, cheaper).
+    pub rendezvous_threshold: usize,
+    /// Extra one-way latencies incurred by the rendezvous handshake.
+    pub rendezvous_trips: u32,
+    /// Fraction of a core permanently spent on progress/polling while
+    /// compute dominates (the libfabric polling tax at small scale).
+    pub polling_tax: f64,
+    /// Degree to which concurrent senders serialize in the progress
+    /// engine: effective per-message CPU cost is multiplied by
+    /// `1 + progress_contention * (threads - 1)` when all `threads`
+    /// workers communicate at once.
+    pub progress_contention: f64,
+}
+
+impl NetParams {
+    /// The two-sided Cray-MPICH model for Piz Daint's Aries network.
+    pub fn mpi_aries() -> NetParams {
+        NetParams {
+            kind: TransportKind::Mpi,
+            latency_us: 2.5,
+            bandwidth_gb_s: 9.0,
+            per_msg_recv_cpu_us: 1.9,
+            per_msg_send_cpu_us: 1.1,
+            payload_copies: 2,
+            copy_bandwidth_gb_s: 6.0,
+            rendezvous_threshold: 16 * 1024,
+            rendezvous_trips: 2,
+            polling_tax: 0.0,
+            progress_contention: 0.18,
+        }
+    }
+
+    /// The one-sided libfabric/GNI model for the same network.
+    pub fn libfabric_aries() -> NetParams {
+        NetParams {
+            kind: TransportKind::Libfabric,
+            latency_us: 1.3,
+            bandwidth_gb_s: 10.0,
+            per_msg_recv_cpu_us: 0.45,
+            per_msg_send_cpu_us: 0.35,
+            payload_copies: 0,
+            copy_bandwidth_gb_s: 6.0,
+            rendezvous_threshold: 16 * 1024,
+            rendezvous_trips: 1,
+            polling_tax: 0.02,
+            progress_contention: 0.02,
+        }
+    }
+
+    /// Pick a model by kind.
+    pub fn for_kind(kind: TransportKind) -> NetParams {
+        match kind {
+            TransportKind::Mpi => Self::mpi_aries(),
+            TransportKind::Libfabric => Self::libfabric_aries(),
+        }
+    }
+
+    /// Wire + copy time for a message of `bytes` payload, in microseconds
+    /// (excludes per-message CPU overhead, which is charged to cores).
+    pub fn transfer_time_us(&self, bytes: usize) -> f64 {
+        let mut t = self.latency_us + bytes as f64 / (self.bandwidth_gb_s * 1e3);
+        if bytes > self.rendezvous_threshold {
+            t += self.rendezvous_trips as f64 * self.latency_us;
+        }
+        t += self.payload_copies as f64 * bytes as f64 / (self.copy_bandwidth_gb_s * 1e3);
+        t
+    }
+
+    /// Per-message CPU cost on the receive side when `threads` workers
+    /// are injecting/polling concurrently, in microseconds.
+    pub fn recv_cpu_us(&self, threads: usize) -> f64 {
+        self.per_msg_recv_cpu_us * (1.0 + self.progress_contention * (threads.saturating_sub(1)) as f64)
+    }
+
+    /// Per-message CPU cost on the send side under the same contention.
+    pub fn send_cpu_us(&self, threads: usize) -> f64 {
+        self.per_msg_send_cpu_us * (1.0 + self.progress_contention * (threads.saturating_sub(1)) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libfabric_beats_mpi_on_everything_but_polling_tax() {
+        let m = NetParams::mpi_aries();
+        let l = NetParams::libfabric_aries();
+        assert!(l.latency_us < m.latency_us);
+        assert!(l.per_msg_recv_cpu_us < m.per_msg_recv_cpu_us);
+        assert!(l.payload_copies < m.payload_copies);
+        assert!(l.progress_contention < m.progress_contention);
+        // ... except the polling tax, which models the Fig. 3 dip < 1.0.
+        assert!(l.polling_tax > m.polling_tax);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_size() {
+        for p in [NetParams::mpi_aries(), NetParams::libfabric_aries()] {
+            let mut last = 0.0;
+            for bytes in [0usize, 64, 4096, 16 * 1024, 64 * 1024, 1 << 20] {
+                let t = p.transfer_time_us(bytes);
+                assert!(t >= last, "{:?} at {} bytes", p.kind, bytes);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_adds_trips() {
+        let p = NetParams::mpi_aries();
+        let below = p.transfer_time_us(p.rendezvous_threshold);
+        let above = p.transfer_time_us(p.rendezvous_threshold + 1);
+        assert!(above - below > p.rendezvous_trips as f64 * p.latency_us * 0.99);
+    }
+
+    #[test]
+    fn contention_scales_with_threads() {
+        let p = NetParams::mpi_aries();
+        assert!(p.recv_cpu_us(12) > p.recv_cpu_us(1));
+        assert_eq!(p.recv_cpu_us(1), p.per_msg_recv_cpu_us);
+        // libfabric is nearly contention-free.
+        let l = NetParams::libfabric_aries();
+        assert!(l.recv_cpu_us(12) / l.recv_cpu_us(1) < p.recv_cpu_us(12) / p.recv_cpu_us(1));
+    }
+
+    #[test]
+    fn for_kind_dispatch() {
+        assert_eq!(NetParams::for_kind(TransportKind::Mpi).kind, TransportKind::Mpi);
+        assert_eq!(
+            NetParams::for_kind(TransportKind::Libfabric).kind,
+            TransportKind::Libfabric
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TransportKind::Mpi.to_string(), "MPI");
+        assert_eq!(TransportKind::Libfabric.to_string(), "libfabric");
+    }
+}

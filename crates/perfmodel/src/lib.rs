@@ -1,0 +1,27 @@
+//! Discrete-event performance models — the stand-in for the paper's
+//! hardware (repro band: no P100/V100 GPUs, no Cray Aries, no 5400-node
+//! Piz Daint available).
+//!
+//! * [`machine`] — the hardware tables: the Piz Daint node of Table 3,
+//!   the Table 2 evaluation platforms, and their efficiency factors.
+//! * [`node_level`] — an event-driven simulation of C worker threads
+//!   driving S CUDA streams with the §5.1 launch policy. It regenerates
+//!   **Table 2** (total/FMM runtime, GFLOP/s, fraction of peak per
+//!   platform) and the **§6.1.2** GPU-launch fractions, including the
+//!   starvation effect (20 cores + 1 V100 slower than 10 cores +
+//!   1 V100).
+//! * [`scaling`] — the distributed model driving **Figures 2 and 3**:
+//!   the real octree decomposition per refinement level, SFC-partitioned
+//!   over N localities, with per-step compute/communication costs from
+//!   the two [`parcelport::NetParams`] transport models.
+//! * [`regrid`] — the startup/regridding model behind §6.3's
+//!   order-of-magnitude claim (latency/contention-bound small messages).
+
+pub mod machine;
+pub mod node_level;
+pub mod regrid;
+pub mod scaling;
+
+pub use machine::{NodeConfig, PIZ_DAINT_NODE};
+pub use node_level::{simulate_node, NodeLevelResult};
+pub use scaling::{simulate_scaling, ScalingPoint};

@@ -1,0 +1,216 @@
+//! The Lane–Emden equation and polytropic stellar structure.
+//!
+//! A polytrope `p = K ρ^(1+1/n)` in hydrostatic equilibrium satisfies
+//! the Lane–Emden equation
+//!
+//!   (1/ξ²) d/dξ (ξ² dθ/dξ) = −θⁿ,  θ(0) = 1, θ'(0) = 0,
+//!
+//! with ρ = ρ_c θⁿ and the surface at the first zero ξ₁. The V1309
+//! components are modelled with n = 3/2 (γ = 5/3 convective
+//! envelopes/helium cores).
+
+/// Tabulated Lane–Emden solution for index `n`.
+#[derive(Debug, Clone)]
+pub struct LaneEmden {
+    pub n: f64,
+    /// Radial grid ξ.
+    pub xi: Vec<f64>,
+    /// θ(ξ).
+    pub theta: Vec<f64>,
+    /// First zero ξ₁ (surface).
+    pub xi1: f64,
+    /// |dθ/dξ| at ξ₁.
+    pub dtheta_surface: f64,
+}
+
+impl LaneEmden {
+    /// Integrate with RK4 until θ crosses zero.
+    pub fn solve(n: f64) -> LaneEmden {
+        assert!((0.0..5.0).contains(&n), "polytropic index out of range");
+        let h = 1e-4;
+        let mut xi = vec![0.0];
+        let mut theta = vec![1.0];
+        // State: (θ, φ = dθ/dξ). At ξ = 0 use the series expansion to
+        // step off the singularity: θ ≈ 1 − ξ²/6.
+        let mut x: f64 = h;
+        let mut th = 1.0 - x * x / 6.0 + n * x.powi(4) / 120.0;
+        let mut ph = -x / 3.0 + n * x.powi(3) / 30.0;
+        xi.push(x);
+        theta.push(th);
+        let deriv = |x: f64, th: f64, ph: f64| -> (f64, f64) {
+            let rhs = if th > 0.0 { -th.powf(n) } else { 0.0 };
+            (ph, rhs - 2.0 * ph / x)
+        };
+        let mut steps = 0u32;
+        let mut prev_th = th;
+        while th > 0.0 && steps < 2_000_000 {
+            prev_th = th;
+            let (k1t, k1p) = deriv(x, th, ph);
+            let (k2t, k2p) = deriv(x + h / 2.0, th + h / 2.0 * k1t, ph + h / 2.0 * k1p);
+            let (k3t, k3p) = deriv(x + h / 2.0, th + h / 2.0 * k2t, ph + h / 2.0 * k2p);
+            let (k4t, k4p) = deriv(x + h, th + h * k3t, ph + h * k3p);
+            th += h / 6.0 * (k1t + 2.0 * k2t + 2.0 * k3t + k4t);
+            ph += h / 6.0 * (k1p + 2.0 * k2p + 2.0 * k3p + k4p);
+            x += h;
+            // Subsample the table to keep it small.
+            if steps % 16 == 0 {
+                xi.push(x);
+                theta.push(th.max(0.0));
+            }
+            steps += 1;
+        }
+        assert!(th <= 0.0, "Lane-Emden did not reach the surface");
+        // Linear interpolation for the zero crossing within the last step.
+        let frac = prev_th / (prev_th - th);
+        let xi1 = (x - h) + frac * h;
+        LaneEmden { n, xi, theta, xi1, dtheta_surface: ph.abs() }
+    }
+
+    /// θ at arbitrary ξ by linear interpolation (0 beyond the surface).
+    pub fn theta_at(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        if x >= self.xi1 {
+            return 0.0;
+        }
+        match self.xi.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => self.theta[i],
+            Err(i) => {
+                if i == 0 {
+                    return 1.0;
+                }
+                if i >= self.xi.len() {
+                    return 0.0;
+                }
+                let (x0, x1) = (self.xi[i - 1], self.xi[i]);
+                let (t0, t1) = (self.theta[i - 1], self.theta[i]);
+                let f = (x - x0) / (x1 - x0);
+                (t0 + f * (t1 - t0)).max(0.0)
+            }
+        }
+    }
+}
+
+/// A polytropic star scaled to a given mass and radius (G = 1).
+#[derive(Debug, Clone)]
+pub struct Polytrope {
+    pub mass: f64,
+    pub radius: f64,
+    pub n: f64,
+    pub rho_c: f64,
+    /// Polytropic constant K in `p = K ρ^(1+1/n)`.
+    pub k: f64,
+    profile: LaneEmden,
+}
+
+impl Polytrope {
+    pub fn new(mass: f64, radius: f64, n: f64) -> Polytrope {
+        assert!(mass > 0.0 && radius > 0.0);
+        let profile = LaneEmden::solve(n);
+        // M = 4π ρ_c (R/ξ₁)³ ξ₁² |θ'(ξ₁)|.
+        let a = radius / profile.xi1;
+        let rho_c =
+            mass / (4.0 * std::f64::consts::PI * a.powi(3) * profile.xi1 * profile.xi1 * profile.dtheta_surface);
+        // a² = (n+1) K ρ_c^(1/n − 1) / (4π)  (G = 1).
+        let k = 4.0 * std::f64::consts::PI * a * a / (n + 1.0) * rho_c.powf(1.0 - 1.0 / n);
+        Polytrope { mass, radius, n, rho_c, k, profile }
+    }
+
+    /// Density at distance `r` from the centre (0 outside).
+    pub fn rho(&self, r: f64) -> f64 {
+        let xi = r / self.radius * self.profile.xi1;
+        self.rho_c * self.profile.theta_at(xi).powf(self.n)
+    }
+
+    /// Pressure at distance `r` (polytropic relation).
+    pub fn pressure(&self, r: f64) -> f64 {
+        self.k * self.rho(r).powf(1.0 + 1.0 / self.n)
+    }
+
+    /// Specific internal energy density ρε = p/(γ−1) with γ = 1 + 1/n.
+    pub fn e_int(&self, r: f64) -> f64 {
+        self.pressure(r) * self.n
+    }
+
+    /// Numerically integrated total mass (for validation).
+    pub fn integrated_mass(&self, samples: usize) -> f64 {
+        let dr = self.radius / samples as f64;
+        let mut m = 0.0;
+        for i in 0..samples {
+            let r = (i as f64 + 0.5) * dr;
+            m += 4.0 * std::f64::consts::PI * r * r * self.rho(r) * dr;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n0_analytic_solution() {
+        // n = 0: θ = 1 − ξ²/6, ξ₁ = √6, |θ'(ξ₁)| = √6/3.
+        let le = LaneEmden::solve(0.0);
+        assert!((le.xi1 - 6f64.sqrt()).abs() < 1e-3, "xi1 = {}", le.xi1);
+        assert!((le.dtheta_surface - 6f64.sqrt() / 3.0).abs() < 1e-3);
+        assert!((le.theta_at(1.0) - (1.0 - 1.0 / 6.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn n1_analytic_solution() {
+        // n = 1: θ = sin(ξ)/ξ, ξ₁ = π.
+        let le = LaneEmden::solve(1.0);
+        assert!((le.xi1 - std::f64::consts::PI).abs() < 1e-3, "xi1 = {}", le.xi1);
+        for x in [0.5f64, 1.0, 2.0, 3.0] {
+            let exact = x.sin() / x;
+            assert!((le.theta_at(x) - exact).abs() < 1e-3, "theta({x})");
+        }
+    }
+
+    #[test]
+    fn n_three_halves_surface() {
+        // n = 3/2: ξ₁ ≈ 3.65375, ξ₁²|θ'| ≈ 2.71406.
+        let le = LaneEmden::solve(1.5);
+        assert!((le.xi1 - 3.65375).abs() < 2e-3, "xi1 = {}", le.xi1);
+        let m_factor = le.xi1 * le.xi1 * le.dtheta_surface;
+        assert!((m_factor - 2.71406).abs() < 5e-3, "m_factor = {m_factor}");
+    }
+
+    #[test]
+    fn polytrope_mass_closes() {
+        let p = Polytrope::new(1.54, 2.1, 1.5);
+        let m = p.integrated_mass(20_000);
+        assert!(
+            (m - 1.54).abs() / 1.54 < 1e-3,
+            "integrated mass {m} vs 1.54"
+        );
+        assert_eq!(p.rho(3.0), 0.0);
+        assert!(p.rho(0.0) > p.rho(1.0));
+    }
+
+    #[test]
+    fn central_density_contrast_is_polytropic() {
+        // For n = 3/2 the central-to-mean density ratio is ≈ 5.99.
+        let p = Polytrope::new(1.0, 1.0, 1.5);
+        let mean = 1.0 / (4.0 / 3.0 * std::f64::consts::PI);
+        let ratio = p.rho_c / mean;
+        assert!((ratio - 5.99).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pressure_and_energy_profiles() {
+        let p = Polytrope::new(1.0, 1.0, 1.5);
+        assert!(p.pressure(0.0) > p.pressure(0.5));
+        assert!(p.pressure(1.1) == 0.0);
+        // γ = 5/3 ⇒ ρε = p/(γ−1) = 1.5 p.
+        assert!((p.e_int(0.3) - 1.5 * p.pressure(0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "polytropic index")]
+    fn n5_is_rejected() {
+        let _ = LaneEmden::solve(5.0);
+    }
+}

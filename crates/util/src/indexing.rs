@@ -1,0 +1,247 @@
+//! Index arithmetic for cubic sub-grids with ghost layers.
+//!
+//! Octo-Tiger stores the evolved variables of each octree node in an
+//! `N^3` sub-grid (`N = 8` in all of the paper's runs) surrounded by a
+//! ghost (halo) layer filled from neighboring nodes. [`GridIndexer`]
+//! centralizes the flattened-index arithmetic so solver kernels do not
+//! hand-roll strides.
+
+/// Index arithmetic for an `n^3` interior with `ghost` halo cells per side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridIndexer {
+    /// Interior cells per dimension.
+    pub n: usize,
+    /// Ghost cells per side.
+    pub ghost: usize,
+}
+
+impl GridIndexer {
+    pub const fn new(n: usize, ghost: usize) -> Self {
+        GridIndexer { n, ghost }
+    }
+
+    /// Total cells per dimension including ghosts.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        self.n + 2 * self.ghost
+    }
+
+    /// Total number of cells including ghosts.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        let d = self.dim();
+        d * d * d
+    }
+
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of interior cells.
+    #[inline]
+    pub const fn interior_len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// Flattened index of interior-relative coordinates (may address ghost
+    /// cells with negative or `>= n` components).
+    #[inline]
+    pub fn idx(&self, i: isize, j: isize, k: isize) -> usize {
+        let d = self.dim() as isize;
+        let g = self.ghost as isize;
+        debug_assert!(i >= -g && i < self.n as isize + g, "i={i} out of range");
+        debug_assert!(j >= -g && j < self.n as isize + g, "j={j} out of range");
+        debug_assert!(k >= -g && k < self.n as isize + g, "k={k} out of range");
+        (((i + g) * d + (j + g)) * d + (k + g)) as usize
+    }
+
+    /// Inverse of [`GridIndexer::idx`]: interior-relative coordinates.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (isize, isize, isize) {
+        let d = self.dim();
+        debug_assert!(idx < self.len());
+        let g = self.ghost as isize;
+        let k = (idx % d) as isize - g;
+        let j = ((idx / d) % d) as isize - g;
+        let i = (idx / (d * d)) as isize - g;
+        (i, j, k)
+    }
+
+    /// Whether interior-relative coordinates address an interior cell.
+    #[inline]
+    pub fn is_interior(&self, i: isize, j: isize, k: isize) -> bool {
+        let n = self.n as isize;
+        (0..n).contains(&i) && (0..n).contains(&j) && (0..n).contains(&k)
+    }
+
+    /// Iterate over interior coordinates in row-major order.
+    pub fn interior(&self) -> CellIter {
+        let n = self.n as isize;
+        CellIter::new(0, n, 0, n, 0, n)
+    }
+
+    /// Iterate over every cell including ghosts.
+    pub fn all(&self) -> CellIter {
+        let g = self.ghost as isize;
+        let hi = self.n as isize + g;
+        CellIter::new(-g, hi, -g, hi, -g, hi)
+    }
+
+    /// Stride along each axis (i, j, k) in the flattened layout.
+    #[inline]
+    pub const fn strides(&self) -> (usize, usize, usize) {
+        let d = self.dim();
+        (d * d, d, 1)
+    }
+}
+
+/// Row-major iterator over an axis-aligned box of cell coordinates.
+#[derive(Debug, Clone)]
+pub struct CellIter {
+    i: isize,
+    j: isize,
+    k: isize,
+    i_hi: isize,
+    j_lo: isize,
+    j_hi: isize,
+    k_lo: isize,
+    k_hi: isize,
+    done: bool,
+}
+
+impl CellIter {
+    /// Iterate `i` in `[i_lo, i_hi)`, `j` in `[j_lo, j_hi)`, `k` in `[k_lo, k_hi)`.
+    pub fn new(i_lo: isize, i_hi: isize, j_lo: isize, j_hi: isize, k_lo: isize, k_hi: isize) -> Self {
+        let done = i_lo >= i_hi || j_lo >= j_hi || k_lo >= k_hi;
+        CellIter { i: i_lo, j: j_lo, k: k_lo, i_hi, j_lo, j_hi, k_lo, k_hi, done }
+    }
+}
+
+impl Iterator for CellIter {
+    type Item = (isize, isize, isize);
+
+    fn next(&mut self) -> Option<(isize, isize, isize)> {
+        if self.done {
+            return None;
+        }
+        let out = (self.i, self.j, self.k);
+        self.k += 1;
+        if self.k == self.k_hi {
+            self.k = self.k_lo;
+            self.j += 1;
+            if self.j == self.j_hi {
+                self.j = self.j_lo;
+                self.i += 1;
+                if self.i == self.i_hi {
+                    self.done = true;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let per_i = ((self.j_hi - self.j_lo) * (self.k_hi - self.k_lo)) as usize;
+        let remaining_full_i = (self.i_hi - self.i - 1) as usize * per_i;
+        let per_j = (self.k_hi - self.k_lo) as usize;
+        let remaining_full_j = (self.j_hi - self.j - 1) as usize * per_j;
+        let remaining_k = (self.k_hi - self.k) as usize;
+        let n = remaining_full_i + remaining_full_j + remaining_k;
+        (n, Some(n))
+    }
+
+    #[allow(clippy::redundant_closure_call)]
+    fn count(self) -> usize {
+        self.size_hint().0
+    }
+}
+
+impl ExactSizeIterator for CellIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dims_and_lengths() {
+        let g = GridIndexer::new(8, 2);
+        assert_eq!(g.dim(), 12);
+        assert_eq!(g.len(), 12 * 12 * 12);
+        assert_eq!(g.interior_len(), 512);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn idx_is_dense_and_in_bounds() {
+        let g = GridIndexer::new(4, 1);
+        let mut seen = vec![false; g.len()];
+        for (i, j, k) in g.all() {
+            let idx = g.idx(i, j, k);
+            assert!(!seen[idx], "duplicate index for ({i},{j},{k})");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn coords_inverts_idx() {
+        let g = GridIndexer::new(8, 2);
+        for (i, j, k) in g.all() {
+            assert_eq!(g.coords(g.idx(i, j, k)), (i, j, k));
+        }
+    }
+
+    #[test]
+    fn interior_iter_counts() {
+        let g = GridIndexer::new(8, 1);
+        assert_eq!(g.interior().count(), 512);
+        assert_eq!(g.all().count(), 1000);
+        let v: Vec<_> = g.interior().collect();
+        assert_eq!(v[0], (0, 0, 0));
+        assert_eq!(*v.last().unwrap(), (7, 7, 7));
+    }
+
+    #[test]
+    fn interior_test() {
+        let g = GridIndexer::new(8, 1);
+        assert!(g.is_interior(0, 0, 0));
+        assert!(g.is_interior(7, 7, 7));
+        assert!(!g.is_interior(-1, 0, 0));
+        assert!(!g.is_interior(0, 8, 0));
+    }
+
+    #[test]
+    fn strides_match_idx() {
+        let g = GridIndexer::new(8, 2);
+        let (si, sj, sk) = g.strides();
+        let base = g.idx(3, 3, 3);
+        assert_eq!(g.idx(4, 3, 3), base + si);
+        assert_eq!(g.idx(3, 4, 3), base + sj);
+        assert_eq!(g.idx(3, 3, 4), base + sk);
+    }
+
+    #[test]
+    fn empty_iter() {
+        let it = CellIter::new(0, 0, 0, 5, 0, 5);
+        assert_eq!(it.count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn size_hint_is_exact(n in 1usize..6, g in 0usize..3) {
+            let gi = GridIndexer::new(n, g);
+            let mut it = gi.all();
+            let mut remaining = it.size_hint().0;
+            while let Some(_) = it.next() {
+                remaining -= 1;
+                prop_assert_eq!(it.size_hint().0, remaining);
+            }
+            prop_assert_eq!(remaining, 0);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Streaming statistics and error norms used by the benchmark harnesses
+//! and the verification suite.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator); NaN for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Relative error helper for comparing conserved quantities against a
+/// reference value, guarding against a zero reference.
+#[derive(Debug, Clone, Copy)]
+pub struct RelErr {
+    reference: f64,
+}
+
+impl RelErr {
+    pub fn against(reference: f64) -> Self {
+        RelErr { reference }
+    }
+
+    /// `|x - ref| / max(|ref|, floor)`.
+    pub fn of(&self, x: f64) -> f64 {
+        let denom = self.reference.abs().max(1e-300);
+        (x - self.reference).abs() / denom
+    }
+}
+
+/// L1 norm of the difference of two equally sized samples, normalized by
+/// the sample count (the standard error measure for Sod/Sedov tests).
+pub fn l1_error(computed: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(computed.len(), reference.len(), "length mismatch in l1_error");
+    if computed.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = computed.iter().zip(reference).map(|(c, r)| (c - r).abs()).sum();
+    sum / computed.len() as f64
+}
+
+/// L-infinity norm of the difference of two equally sized samples.
+pub fn linf_error(computed: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(computed.len(), reference.len(), "length mismatch in linf_error");
+    computed
+        .iter()
+        .zip(reference)
+        .map(|(c, r)| (c - r).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stats_of_constant() {
+        let mut s = OnlineStats::new();
+        for _ in 0..10 {
+            s.push(4.25);
+        }
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.mean(), 4.25);
+        assert!(s.variance().abs() < 1e-30);
+        assert_eq!(s.min(), 4.25);
+        assert_eq!(s.max(), 4.25);
+    }
+
+    #[test]
+    fn stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = OnlineStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn rel_err_zero_reference_does_not_divide_by_zero() {
+        let r = RelErr::against(0.0);
+        assert!(r.of(1.0).is_finite());
+    }
+
+    #[test]
+    fn l1_and_linf() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 5.0];
+        assert!((l1_error(&a, &b) - 1.0).abs() < 1e-15);
+        assert!((linf_error(&a, &b) - 2.0).abs() < 1e-15);
+        assert_eq!(l1_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn l1_length_mismatch_panics() {
+        let _ = l1_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in proptest::collection::vec(-1e3f64..1e3, 1..64),
+                                   ys in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+            let mut a = OnlineStats::new();
+            for &x in &xs { a.push(x); }
+            let mut b = OnlineStats::new();
+            for &y in &ys { b.push(y); }
+            a.merge(&b);
+
+            let mut seq = OnlineStats::new();
+            for &x in xs.iter().chain(ys.iter()) { seq.push(x); }
+
+            prop_assert_eq!(a.count(), seq.count());
+            prop_assert!((a.mean() - seq.mean()).abs() < 1e-9);
+            prop_assert!((a.variance() - seq.variance()).abs() < 1e-6);
+            prop_assert_eq!(a.min(), seq.min());
+            prop_assert_eq!(a.max(), seq.max());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Physical constants and the code unit system.
+//!
+//! The V1309 Scorpii scenario of the paper is posed in solar units: masses
+//! in solar masses, lengths in solar radii. Internally every solver works
+//! in *code units* in which the gravitational constant `G = 1`; this module
+//! provides the conversions and the scenario constants quoted in §6 of the
+//! paper.
+
+/// Gravitational constant in CGS, cm^3 g^-1 s^-2.
+pub const G_CGS: f64 = 6.674_30e-8;
+/// Solar mass in grams.
+pub const MSUN_CGS: f64 = 1.988_92e33;
+/// Solar radius in centimetres.
+pub const RSUN_CGS: f64 = 6.957e10;
+/// Seconds per day.
+pub const DAY_S: f64 = 86_400.0;
+
+/// V1309 scenario constants from §6 of the paper.
+pub mod v1309 {
+    /// Primary (accretor) mass, solar masses.
+    pub const M_PRIMARY: f64 = 1.54;
+    /// Secondary (donor) mass, solar masses.
+    pub const M_SECONDARY: f64 = 0.17;
+    /// Initial separation of the centres of mass, solar radii.
+    pub const SEPARATION: f64 = 6.37;
+    /// Edge length of the cubic simulation domain, solar radii.
+    pub const DOMAIN_EDGE: f64 = 1.02e3;
+    /// Initial orbital (grid rotation) period, days.
+    pub const PERIOD_DAYS: f64 = 1.42;
+    /// Finest cell size at refinement level 14, solar radii.
+    pub const DX_LEVEL14: f64 = 7.80e-3;
+    /// Finest cell size at refinement level 17, solar radii.
+    pub const DX_LEVEL17: f64 = 9.750e-4;
+}
+
+/// A unit system with `G = 1`, mass unit `M0` (g) and length unit `L0` (cm).
+/// The time unit follows as `sqrt(L0^3 / (G M0))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitSystem {
+    /// Mass unit in grams.
+    pub mass_g: f64,
+    /// Length unit in centimetres.
+    pub length_cm: f64,
+}
+
+impl UnitSystem {
+    /// Solar units: mass in M⊙, length in R⊙, `G = 1`.
+    pub fn solar() -> Self {
+        UnitSystem { mass_g: MSUN_CGS, length_cm: RSUN_CGS }
+    }
+
+    /// The derived time unit in seconds.
+    pub fn time_s(&self) -> f64 {
+        (self.length_cm.powi(3) / (G_CGS * self.mass_g)).sqrt()
+    }
+
+    /// The derived velocity unit in cm/s.
+    pub fn velocity_cm_s(&self) -> f64 {
+        self.length_cm / self.time_s()
+    }
+
+    /// The derived density unit in g/cm^3.
+    pub fn density_g_cm3(&self) -> f64 {
+        self.mass_g / self.length_cm.powi(3)
+    }
+
+    /// Convert a time from days to code units.
+    pub fn days_to_code(&self, days: f64) -> f64 {
+        days * DAY_S / self.time_s()
+    }
+
+    /// Convert a time from code units to days.
+    pub fn code_to_days(&self, t: f64) -> f64 {
+        t * self.time_s() / DAY_S
+    }
+}
+
+/// Keplerian orbital angular velocity for total mass `m` (code units) and
+/// separation `a` (code units), with `G = 1`.
+pub fn kepler_omega(m_total: f64, a: f64) -> f64 {
+    assert!(m_total > 0.0 && a > 0.0, "mass and separation must be positive");
+    (m_total / (a * a * a)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solar_time_unit_is_about_1600_seconds() {
+        // sqrt(Rsun^3/(G Msun)) ≈ 1593 s: the solar dynamical time.
+        let t = UnitSystem::solar().time_s();
+        assert!((1500.0..1700.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn v1309_orbital_period_consistent_with_kepler() {
+        // P = 2 pi / omega for M = 1.71 Msun, a = 6.37 Rsun should be about
+        // the paper's 1.42 days.
+        let u = UnitSystem::solar();
+        let omega = kepler_omega(v1309::M_PRIMARY + v1309::M_SECONDARY, v1309::SEPARATION);
+        let period_days = u.code_to_days(2.0 * std::f64::consts::PI / omega);
+        assert!(
+            (period_days - v1309::PERIOD_DAYS).abs() < 0.08,
+            "period = {period_days} days, paper gives 1.42"
+        );
+    }
+
+    #[test]
+    fn domain_is_160x_separation() {
+        // §6: the domain edge is about 160 times the initial separation.
+        let ratio = v1309::DOMAIN_EDGE / v1309::SEPARATION;
+        assert!((155.0..165.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn level14_cell_size_matches_refinement() {
+        // dx(level) = domain / (8 * 2^level): level 14 ≈ 7.78e-3 Rsun,
+        // level 17 is 8x finer, matching the paper's 9.75e-4.
+        let dx14 = v1309::DOMAIN_EDGE / (8.0 * (1u64 << 14) as f64);
+        assert!((dx14 - v1309::DX_LEVEL14).abs() / v1309::DX_LEVEL14 < 0.01, "dx14 = {dx14}");
+        let dx17 = dx14 / 8.0;
+        assert!((dx17 - v1309::DX_LEVEL17).abs() / v1309::DX_LEVEL17 < 0.01, "dx17 = {dx17}");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let u = UnitSystem::solar();
+        let t = 3.7;
+        assert!((u.days_to_code(u.code_to_days(t)) - t).abs() < 1e-12);
+        assert!(u.velocity_cm_s() > 0.0);
+        assert!(u.density_g_cm3() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kepler_rejects_nonpositive() {
+        let _ = kepler_omega(0.0, 1.0);
+    }
+}

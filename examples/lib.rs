@@ -1,0 +1,1 @@
+//! Shared nothing: examples are standalone binaries.

@@ -1,0 +1,82 @@
+//! A laptop-scale V1309-style contact binary on the AMR tree, in the
+//! co-rotating frame with full FMM self-gravity — the production
+//! scenario of §3/§6 at mini scale.
+//!
+//! ```sh
+//! cargo run --release -p examples --bin stellar_merger
+//! ```
+
+use octotiger::diagnostics::totals;
+use octotiger::{Scenario, Simulation};
+use octree::subgrid::Field;
+use util::vec3::Vec3;
+
+/// Centre of mass of the donor material (tracked by its passive scalar).
+fn donor_com(sim: &Simulation) -> (f64, Vec3) {
+    let domain = sim.tree().domain();
+    let mut m = 0.0;
+    let mut com = Vec3::ZERO;
+    for key in sim.tree().leaves() {
+        let grid = sim.tree().node(key).unwrap().grid.as_ref().unwrap();
+        let vol = domain.cell_volume(key.level);
+        for (i, j, k) in grid.indexer().interior() {
+            let dm = (grid.at(Field::DonorCore, i, j, k) + grid.at(Field::DonorEnv, i, j, k)) * vol;
+            m += dm;
+            com += domain.cell_center(key, i, j, k) * dm;
+        }
+    }
+    (m, if m > 0.0 { com / m } else { Vec3::ZERO })
+}
+
+fn main() {
+    println!("V1309-style contact binary (scaled): AMR + FMM + rotating frame\n");
+    let scenario = Scenario::mini_binary(2);
+    let model = scenario.binary.as_ref().expect("binary scenario").clone();
+    println!(
+        "binary: M1 = {:.2}, M2 = {:.2}, a = {:.2}, Omega = {:.3}",
+        model.primary.mass,
+        model.secondary.mass,
+        (model.primary_pos - model.secondary_pos).norm(),
+        model.omega
+    );
+    println!(
+        "spin/orbital angular momentum = {:.3} (Darwin threshold: 1/3)",
+        model.spin_to_orbital()
+    );
+
+    let mut sim = Simulation::new(scenario);
+    println!(
+        "tree: {} sub-grids across levels {:?}\n",
+        sim.tree().leaf_count(),
+        sim.tree()
+            .leaves_per_level()
+            .iter()
+            .map(|(l, c)| format!("L{l}:{c}"))
+            .collect::<Vec<_>>()
+    );
+
+    let start = totals(sim.tree(), None);
+    let (dm0, dcom0) = donor_com(&sim);
+    println!("      t        dt       mass       |L_z|      donor CoM x");
+    for _ in 0..4 {
+        let dt = sim.step();
+        let t = totals(sim.tree(), None);
+        let (_, dcom) = donor_com(&sim);
+        println!(
+            "{:9.4}  {:8.2e}  {:9.5}  {:9.3e}  {:9.4}",
+            sim.time, dt, t.mass, t.angular.z, dcom.x
+        );
+    }
+    let end = totals(sim.tree(), None);
+    let (dm1, dcom1) = donor_com(&sim);
+    println!("\nmass drift: {:.2e} (relative)", ((end.mass - start.mass) / start.mass).abs());
+    println!(
+        "donor material: {:.4} -> {:.4} Msun, CoM moved {:.3} Rsun",
+        dm0,
+        dm1,
+        (dcom1 - dcom0).norm()
+    );
+    println!("\nIn the co-rotating frame the tidally locked binary evolves");
+    println!("slowly; passive scalars track the donor material exactly as");
+    println!("Octo-Tiger's post-processing does (paper §4.2).");
+}

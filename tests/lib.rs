@@ -1,0 +1,43 @@
+//! Shared helpers for the integration tests in `tests/tests/`.
+
+use hydro::eos::IdealGas;
+use octree::geometry::Domain;
+use octree::subgrid::Field;
+use octree::tree::Octree;
+use util::vec3::Vec3;
+
+/// Build a uniformly refined tree filled from a (ρ, v, ρε) profile.
+pub fn filled_uniform_tree(
+    domain_edge: f64,
+    level: u8,
+    eos: &IdealGas,
+    profile: impl Fn(Vec3) -> (f64, Vec3, f64),
+) -> Octree {
+    let mut tree = Octree::new(Domain::new(domain_edge));
+    tree.refine_where(level, |_d, _k| true);
+    let domain = tree.domain();
+    for key in tree.leaves() {
+        let node = tree.node_mut(key).expect("leaf");
+        let grid = node.grid.as_mut().expect("grid");
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            let (rho, v, e) = profile(c);
+            grid.set(Field::Rho, i, j, k, rho);
+            grid.set(Field::Sx, i, j, k, rho * v.x);
+            grid.set(Field::Sy, i, j, k, rho * v.y);
+            grid.set(Field::Sz, i, j, k, rho * v.z);
+            grid.set(Field::Egas, i, j, k, e + 0.5 * rho * v.norm2());
+            grid.set(Field::Tau, i, j, k, eos.tau_from_e(e));
+        }
+    }
+    tree.restrict_all();
+    tree
+}
+
+/// A compact two-blob density profile used by several tests.
+pub fn two_blob_profile(c: Vec3) -> (f64, Vec3, f64) {
+    let b1 = Vec3::new(-2.0, 0.0, 0.0);
+    let b2 = Vec3::new(2.0, 0.5, 0.0);
+    let rho = 1.5 * (-(c - b1).norm2()).exp() + 0.8 * (-(c - b2).norm2() / 2.0).exp() + 1e-8;
+    (rho, Vec3::ZERO, rho * 0.5)
+}

@@ -1,0 +1,106 @@
+//! Cross-crate accuracy: the FMM solver against direct summation on
+//! trees built by the integration helpers, plus global conservation of
+//! the coupled solve.
+
+use gravity::direct::{direct_sum, PointMass};
+use gravity::solver::FmmSolver;
+use hydro::eos::IdealGas;
+use integration_tests::{filled_uniform_tree, two_blob_profile};
+use octree::subgrid::{Field, N_SUB};
+use util::vec3::Vec3;
+
+#[test]
+fn fmm_potential_matches_direct_sum_within_truncation() {
+    let eos = IdealGas::monatomic();
+    let tree = filled_uniform_tree(12.0, 1, &eos, two_blob_profile);
+    let solver = FmmSolver::new(0.5);
+    let field = solver.solve(&tree);
+
+    let domain = tree.domain();
+    let mut pts = Vec::new();
+    for key in tree.leaves() {
+        let grid = tree.node(key).unwrap().grid.as_ref().unwrap();
+        let vol = domain.cell_volume(key.level);
+        for (i, j, k) in grid.indexer().interior() {
+            pts.push(PointMass {
+                m: grid.at(Field::Rho, i, j, k) * vol,
+                pos: domain.cell_center(key, i, j, k),
+            });
+        }
+    }
+    let reference = direct_sum(&pts);
+
+    let mut idx = 0;
+    let mut worst = 0.0f64;
+    for key in tree.leaves() {
+        let cells = field.leaf(key).unwrap();
+        let grid = tree.node(key).unwrap().grid.as_ref().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let ci = ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize;
+            let (phi_ref, _) = reference[idx];
+            worst = worst.max((cells[ci].phi - phi_ref).abs() / phi_ref.abs());
+            idx += 1;
+        }
+    }
+    assert!(worst < 0.03, "FMM phi error vs direct: {worst}");
+}
+
+#[test]
+fn gravitational_forces_sum_to_zero_globally() {
+    let eos = IdealGas::monatomic();
+    let tree = filled_uniform_tree(12.0, 1, &eos, two_blob_profile);
+    let solver = FmmSolver::new(0.5);
+    let field = solver.solve(&tree);
+    let vol = tree.domain().cell_volume(1);
+    let mut total = Vec3::ZERO;
+    let mut scale = 0.0;
+    for key in tree.leaves() {
+        for cg in field.leaf(key).unwrap() {
+            total += cg.force_density * vol;
+            scale += (cg.force_density * vol).norm();
+        }
+    }
+    assert!(
+        total.norm() < 1e-12 * scale,
+        "net self-force {total:?} at scale {scale}"
+    );
+}
+
+#[test]
+fn binary_attraction_points_between_the_stars() {
+    // The two blobs must attract each other: the force on material at
+    // blob 1 points towards blob 2.
+    let eos = IdealGas::monatomic();
+    let tree = filled_uniform_tree(12.0, 1, &eos, two_blob_profile);
+    let solver = FmmSolver::new(0.5);
+    let field = solver.solve(&tree);
+    let domain = tree.domain();
+    // Aggregate force on all material with x < 0 (blob 1 side).
+    let vol = domain.cell_volume(1);
+    let mut f_left = Vec3::ZERO;
+    for key in tree.leaves() {
+        let grid = tree.node(key).unwrap().grid.as_ref().unwrap();
+        let cells = field.leaf(key).unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            if c.x < 0.0 {
+                let ci = ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize;
+                f_left += cells[ci].force_density * vol;
+            }
+        }
+    }
+    assert!(
+        f_left.x > 0.0,
+        "left blob must be pulled right (towards the companion): {f_left:?}"
+    );
+}
+
+#[test]
+fn interaction_counters_scale_with_tree_size() {
+    let eos = IdealGas::monatomic();
+    let t1 = filled_uniform_tree(12.0, 1, &eos, two_blob_profile);
+    let solver = FmmSolver::new(0.5);
+    let f1 = solver.solve(&t1);
+    assert!(f1.interactions > 0);
+    assert!(f1.kernel_launches >= t1.leaf_count() as u64);
+}

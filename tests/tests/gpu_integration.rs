@@ -1,0 +1,127 @@
+//! GPU co-processor integration: real FMM kernels executed through the
+//! simulated CUDA streams must produce bit-identical results to direct
+//! CPU execution (§5.1: "the stencil-based computation ... is done the
+//! same way as on the CPU"), and the event futures must chain into the
+//! AMT task graph.
+
+use amt::Runtime;
+use gpusim::device::{Device, DeviceSpec};
+use gpusim::launch_policy::{LaunchOutcome, LaunchStats, QueuePolicy, StreamPool};
+use gravity::kernels::{gather_moments, monopole_kernel, MomentGrid};
+use gravity::multipole::Multipole;
+use gravity::stencil::Stencil;
+use std::sync::{Arc, Mutex};
+use util::vec3::Vec3;
+
+fn test_grid(width: i32) -> MomentGrid {
+    gather_moments(width, |i, j, k| {
+        Some(Multipole::monopole(
+            1.0 + ((i * 13 + j * 5 + k).rem_euclid(9)) as f64 * 0.25,
+            Vec3::new(i as f64, j as f64, k as f64),
+        ))
+    })
+}
+
+#[test]
+fn gpu_execution_is_bit_identical_to_cpu() {
+    let stencil = Arc::new(Stencil::octotiger());
+    let cpu_result = monopole_kernel(&test_grid(stencil.width()), stencil.offsets());
+
+    let device = Device::new(DeviceSpec::p100(), 4);
+    let streams = device.streams();
+    let result: Arc<Mutex<Option<Vec<f64>>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&result);
+    let st = Arc::clone(&stencil);
+    streams[0].enqueue(move || {
+        let r = monopole_kernel(&test_grid(st.width()), st.offsets());
+        *sink.lock().unwrap() = Some(r.expansions.iter().map(|e| e.phi).collect());
+    });
+    streams[0].synchronize();
+    let gpu_phis = result.lock().unwrap().take().expect("kernel ran");
+    assert_eq!(gpu_phis.len(), cpu_result.expansions.len());
+    for (g, c) in gpu_phis.iter().zip(cpu_result.expansions.iter()) {
+        assert_eq!(g.to_bits(), c.phi.to_bits(), "GPU result differs from CPU");
+    }
+    device.shutdown();
+}
+
+#[test]
+fn launch_policy_drives_many_kernels_through_the_runtime() {
+    // The §5.1 pattern end to end: AMT tasks launching FMM kernels via
+    // the stream pool, falling back to the CPU under pressure, with
+    // event futures synchronizing completion.
+    let rt = Runtime::new(4);
+    let device = Device::new(DeviceSpec::v100(), 8);
+    let stats = Arc::new(LaunchStats::new());
+    let pools: Vec<Arc<StreamPool>> = StreamPool::partition(
+        device.streams(),
+        4,
+        QueuePolicy::CpuFallback,
+        Arc::clone(&stats),
+    )
+    .into_iter()
+    .map(Arc::new)
+    .collect();
+    let stencil = Arc::new(Stencil::octotiger());
+
+    let n = 32;
+    let futures: Vec<_> = (0..n)
+        .map(|i| {
+            let pool = Arc::clone(&pools[i % pools.len()]);
+            let st = Arc::clone(&stencil);
+            rt.async_call(move || {
+                let grid = test_grid(st.width());
+                let offsets: Vec<_> = st.offsets().to_vec();
+                match pool.launch(move || {
+                    let r = monopole_kernel(&grid, &offsets);
+                    assert!(r.interactions > 0);
+                }) {
+                    LaunchOutcome::Gpu(ev) => {
+                        ev.get();
+                        1u32
+                    }
+                    LaunchOutcome::CpuFallback(kernel) => {
+                        kernel();
+                        0u32
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut gpu_count = 0;
+    for f in futures {
+        gpu_count += rt.get(f);
+    }
+    assert_eq!(
+        stats.gpu_launches() + stats.cpu_launches(),
+        n as u64,
+        "every kernel must be counted"
+    );
+    assert_eq!(stats.gpu_launches(), gpu_count as u64);
+    assert!(gpu_count > 0, "at least some kernels must reach the GPU");
+    device.shutdown();
+}
+
+#[test]
+fn queue_on_busy_reaches_full_gpu_fraction() {
+    // The §6.1.2 proposed fix as an ablation: queueing on busy streams
+    // puts 100% of kernels on the GPU even under pressure.
+    let device = Device::new(DeviceSpec::p100(), 2);
+    let stats = Arc::new(LaunchStats::new());
+    let pools = StreamPool::partition(
+        device.streams(),
+        1,
+        QueuePolicy::QueueOnBusy,
+        Arc::clone(&stats),
+    );
+    let mut last = None;
+    for _ in 0..64 {
+        match pools[0].launch(|| std::thread::sleep(std::time::Duration::from_micros(50))) {
+            LaunchOutcome::Gpu(ev) => last = Some(ev),
+            LaunchOutcome::CpuFallback(_) => panic!("QueueOnBusy must never fall back"),
+        }
+    }
+    last.unwrap().get();
+    assert_eq!(stats.gpu_fraction(), 1.0);
+    device.shutdown();
+}

@@ -1,0 +1,91 @@
+//! Gravity–hydro coupling: a polytrope painted from the SCF crate must
+//! be near hydrostatic balance under the FMM field — the pressure
+//! gradient balances gravity, which is what keeps the §4.2 star test
+//! stable.
+
+use gravity::solver::FmmSolver;
+use hydro::eos::IdealGas;
+use integration_tests::filled_uniform_tree;
+use octree::subgrid::{Field, N_SUB};
+use scf::lane_emden::Polytrope;
+use util::vec3::Vec3;
+
+#[test]
+fn polytrope_is_near_hydrostatic_balance() {
+    let eos = IdealGas::monatomic();
+    let star = Polytrope::new(1.0, 1.0, 1.5);
+    let tree = filled_uniform_tree(8.0, 2, &eos, |c| {
+        let r = c.norm();
+        let rho = star.rho(r).max(1e-10);
+        (rho, Vec3::ZERO, star.e_int(r).max(rho * 1e-6))
+    });
+    let solver = FmmSolver::new(0.5);
+    let field = solver.solve(&tree);
+
+    // Compare |g| against the analytic enclosed-mass field at a few
+    // interior radii.
+    let domain = tree.domain();
+    let mut checked = 0;
+    for key in tree.leaves() {
+        let grid = tree.node(key).unwrap().grid.as_ref().unwrap();
+        let cells = field.leaf(key).unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            let r = c.norm();
+            if !(0.4..0.8).contains(&r) {
+                continue;
+            }
+            let ci = ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize;
+            let g = cells[ci].g;
+            // Enclosed mass by numerical integration of the profile.
+            let mut m_enc = 0.0;
+            let n_s = 200;
+            let dr = r / n_s as f64;
+            for s in 0..n_s {
+                let rs = (s as f64 + 0.5) * dr;
+                m_enc += 4.0 * std::f64::consts::PI * rs * rs * star.rho(rs) * dr;
+            }
+            let g_exact = m_enc / (r * r);
+            let rel = (g.norm() - g_exact).abs() / g_exact;
+            assert!(
+                rel < 0.15,
+                "|g| at r = {r:.2}: {} vs analytic {g_exact} (rel {rel})",
+                g.norm()
+            );
+            // Gravity points inward.
+            assert!(g.dot(c) < 0.0, "gravity must point inward at {c:?}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "too few cells sampled: {checked}");
+}
+
+#[test]
+fn potential_energy_matches_polytropic_formula() {
+    // For an n-polytrope: W = -3/(5-n) M^2/R = -6/7 for n = 3/2, M = R = 1.
+    let eos = IdealGas::monatomic();
+    let star = Polytrope::new(1.0, 1.0, 1.5);
+    let tree = filled_uniform_tree(8.0, 2, &eos, |c| {
+        let r = c.norm();
+        let rho = star.rho(r).max(1e-10);
+        (rho, Vec3::ZERO, star.e_int(r).max(rho * 1e-6))
+    });
+    let solver = FmmSolver::new(0.5);
+    let field = solver.solve(&tree);
+    let domain = tree.domain();
+    let mut w = 0.0;
+    for key in tree.leaves() {
+        let grid = tree.node(key).unwrap().grid.as_ref().unwrap();
+        let cells = field.leaf(key).unwrap();
+        let vol = domain.cell_volume(key.level);
+        for (i, j, k) in grid.indexer().interior() {
+            let ci = ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize;
+            w += 0.5 * grid.at(Field::Rho, i, j, k) * cells[ci].phi * vol;
+        }
+    }
+    let exact = -6.0 / 7.0;
+    assert!(
+        (w - exact).abs() / exact.abs() < 0.1,
+        "W = {w} vs polytropic {exact}"
+    );
+}
