@@ -1,13 +1,63 @@
 //! Regenerate the **§6.1.2 launch-fraction numbers**: the percentage of
 //! multipole FMM kernels launched on the GPU for the three measured
-//! configurations, from the launch-policy simulation.
+//! configurations, from the launch-policy simulation — then *measure*
+//! the same quantity by running the real futurized solver with its
+//! kernel launches routed through the simulated device (§5.1: idle
+//! stream → GPU, busy → CPU fallback).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin gpu_launch_fraction
 //! ```
 
+use amt::Runtime;
+use gravity::gpu::GpuContext;
+use gravity::solver::FmmSolver;
+use gpusim::device::{Device, DeviceSpec};
+use gpusim::launch_policy::QueuePolicy;
+use octree::geometry::Domain;
+use octree::subgrid::Field;
+use octree::tree::Octree;
 use perfmodel::machine::table2_platforms;
 use perfmodel::node_level::{simulate_node, Workload};
+use std::sync::Arc;
+use util::vec3::Vec3;
+
+/// A level-2 uniform tree with a two-blob density — the measured
+/// workload: 73 nodes, two kernel launches per leaf pass.
+fn measured_tree() -> Arc<Octree> {
+    let mut t = Octree::new(Domain::new(16.0));
+    t.refine_where(2, |_d, _k| true);
+    let domain = t.domain();
+    for key in t.leaves() {
+        let node = t.node_mut(key).unwrap();
+        let grid = node.grid.as_mut().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            let rho = 2.0 * (-(c - Vec3::new(-3.0, 0.0, 0.0)).norm2()).exp()
+                + (-(c - Vec3::new(3.0, 1.0, 0.0)).norm2() / 2.0).exp()
+                + 1e-8;
+            grid.set(Field::Rho, i, j, k, rho);
+        }
+    }
+    t.restrict_all();
+    Arc::new(t)
+}
+
+fn measured_split(n_streams: usize, policy: QueuePolicy, label: &str) {
+    let tree = measured_tree();
+    let dev = Device::new(DeviceSpec::p100(), n_streams);
+    let solver = Arc::new(FmmSolver::with_gpu(0.5, GpuContext::new(&dev, 4, policy)));
+    let rt = Runtime::new(4);
+    let field = solver.solve_parallel(&tree, &rt);
+    let stats = solver.gpu().unwrap().stats();
+    println!(
+        "{:<40} {:>6} GPU {:>6} CPU {:>10.2}%",
+        label,
+        field.kernel_launches_gpu,
+        field.kernel_launches_cpu,
+        100.0 * stats.gpu_fraction()
+    );
+}
 
 fn main() {
     println!("§6.1.2 — fraction of FMM kernels launched on the GPU");
@@ -39,4 +89,11 @@ fn main() {
     println!("Also the §6.1.2 fix (QueueOnBusy): with kernels queued on busy");
     println!("streams instead of falling back, 100% launch on the GPU — see");
     println!("gpusim::launch_policy::QueuePolicy::QueueOnBusy and its tests.");
+    println!();
+    println!("Measured: real futurized FMM solve (level-2 tree, 4 workers),");
+    println!("launches routed per §5.1 through the simulated P100:");
+    println!("{}", "-".repeat(72));
+    measured_split(4, QueuePolicy::CpuFallback, "4 streams, CPU fallback");
+    measured_split(1, QueuePolicy::CpuFallback, "1 stream, CPU fallback (starved)");
+    measured_split(4, QueuePolicy::QueueOnBusy, "4 streams, queue on busy (the fix)");
 }

@@ -14,7 +14,7 @@ use gravity::solver::{FmmSolver, GravityField};
 use hydro::flux::StateVec;
 use hydro::rotating::RotatingFrame;
 use hydro::step::{cfl_dt, HydroStepper};
-use octree::halo::fill_all_halos;
+use octree::halo::fill_all_halos_parallel;
 use octree::subgrid::{Field, SubGrid, N_SUB};
 use octree::tree::Octree;
 use std::collections::HashMap;
@@ -68,26 +68,39 @@ impl Simulation {
     }
 
     /// Solve gravity for the current state (halos need not be filled).
+    /// Runs the futurized FMM walk — bit-identical to the serial solve
+    /// at any thread count.
     pub fn solve_gravity(&self) -> Option<Arc<GravityField>> {
         self.solver
             .as_ref()
-            .map(|s| Arc::new(s.solve(&self.tree)))
+            .map(|s| Arc::new(s.solve_parallel(&self.tree, &self.rt)))
     }
 
     fn tree_mut(&mut self) -> &mut Octree {
         Arc::get_mut(&mut self.tree).expect("no outstanding tree references between stages")
     }
 
-    /// Global CFL time step over all leaves.
+    /// Global CFL time step over all leaves: a parallel min-reduce, one
+    /// task per leaf. `when_all` returns results in leaf order and the
+    /// fold is ordered, so the reduction is deterministic.
     pub fn compute_dt(&self) -> f64 {
         let domain = self.tree.domain();
-        let mut dt = f64::INFINITY;
-        for key in self.tree.leaves() {
-            let grid = self.tree.node(key).expect("leaf").grid.as_ref().expect("grid");
-            let a = self.stepper.max_signal_speed(grid);
-            dt = dt.min(cfl_dt(domain.cell_dx(key.level), a, self.config.cfl));
+        let leaves = self.tree.leaves();
+        let mut futs = Vec::with_capacity(leaves.len());
+        for key in leaves {
+            let tree = Arc::clone(&self.tree);
+            let stepper = self.stepper;
+            let cfl = self.config.cfl;
+            futs.push(self.rt.async_call(move || {
+                let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
+                let a = stepper.max_signal_speed(grid);
+                cfl_dt(domain.cell_dx(key.level), a, cfl)
+            }));
         }
-        dt
+        let sched = Arc::clone(self.rt.scheduler());
+        let dts = when_all(&sched, futs).get_help(&sched);
+        self.rt.wait_quiescent();
+        dts.into_iter().fold(f64::INFINITY, f64::min)
     }
 
     /// Compute the full RHS (hydro + gravity + frame) for every leaf,
@@ -159,7 +172,7 @@ impl Simulation {
     pub fn step(&mut self) -> f64 {
         let bc = self.config.bc;
         let floors = self.config.floors;
-        fill_all_halos(self.tree_mut(), bc);
+        fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
         let dt = self.compute_dt();
         assert!(dt.is_finite() && dt > 0.0, "CFL produced dt = {dt}");
 
@@ -182,7 +195,7 @@ impl Simulation {
         }
 
         // Stage 2.
-        fill_all_halos(self.tree_mut(), bc);
+        fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
         let grav2 = self.solve_gravity();
         let rhs2 = self.parallel_rhs(grav2);
         {

@@ -54,7 +54,17 @@ impl LocalExpansion {
     /// residual −d × F (identically zero for the B1 part) is split in
     /// exact halves into `torque` for the spin fields.
     pub fn accumulate(&mut self, tgt: &Multipole, src: &Multipole, d: Vec3) {
-        let t = KernelTensors::at(d);
+        self.accumulate_softened(tgt, src, d, 0.0);
+    }
+
+    /// [`LocalExpansion::accumulate`] with `soft` added to `r²` when
+    /// evaluating the kernel tensors. `soft = 0` reproduces the exact
+    /// interaction bit-for-bit; the branchless SoA kernels pass the mask
+    /// complement so zero-weight slots stay finite (every accumulated
+    /// term is linear in the source moments, which those kernels scale
+    /// by the weight).
+    pub fn accumulate_softened(&mut self, tgt: &Multipole, src: &Multipole, d: Vec3, soft: f64) {
+        let t = KernelTensors::at_softened(d, soft);
         // Potential and derivatives from the source moments.
         self.phi += src.m * t.b0 + 0.5 * t.contract_q_b2(&src.q);
         let grad_quad_s = t.contract_q_b3(&src.q) * 0.5;

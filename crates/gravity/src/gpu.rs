@@ -1,0 +1,106 @@
+//! Routing FMM kernel launches through the simulated GPU (§5.1).
+//!
+//! "Each CPU thread manages a certain number of CUDA streams. When
+//! launching a kernel, a thread first checks whether all of the CUDA
+//! streams it manages are busy. If not, the kernel will be launched on
+//! the GPU using an idle stream. Otherwise, the kernel will be executed
+//! on the CPU by the current CPU worker thread."
+//!
+//! [`GpuContext`] owns the per-worker [`StreamPool`]s of one device and
+//! makes that decision for each FMM kernel launch of
+//! [`crate::FmmSolver::solve_parallel`]. The kernel closure itself is
+//! identical on both paths, so where a launch lands never changes the
+//! numbers — only the `fmm/kernels/gpu` vs `fmm/kernels/cpu` split, the
+//! §6.1.2 observable.
+
+use gpusim::device::Device;
+use gpusim::launch_policy::{LaunchOutcome, LaunchStats, QueuePolicy, StreamPool};
+use std::sync::Arc;
+
+/// Where one kernel launch was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchSite {
+    Gpu,
+    Cpu,
+}
+
+/// Per-worker stream pools plus the shared launch statistics for one
+/// simulated device.
+pub struct GpuContext {
+    pools: Vec<StreamPool>,
+    stats: Arc<LaunchStats>,
+}
+
+impl GpuContext {
+    /// Partition `device`'s streams across `n_workers` CPU workers (the
+    /// paper's static stream-to-thread assignment).
+    pub fn new(device: &Arc<Device>, n_workers: usize, policy: QueuePolicy) -> GpuContext {
+        let stats = Arc::new(LaunchStats::new());
+        let pools = StreamPool::partition(device.streams(), n_workers, policy, Arc::clone(&stats));
+        GpuContext { pools, stats }
+    }
+
+    /// The cumulative GPU/CPU launch split.
+    pub fn stats(&self) -> &Arc<LaunchStats> {
+        &self.stats
+    }
+
+    /// The stream pool owned by `worker` (`None` = a non-worker thread
+    /// helping out, which borrows pool 0, like the main thread in HPX).
+    fn pool_for(&self, worker: Option<usize>) -> &StreamPool {
+        &self.pools[worker.unwrap_or(0) % self.pools.len()]
+    }
+
+    /// Execute `kernel` via the §5.1 decision: on an idle stream of the
+    /// calling worker's pool if one exists, else inline on the CPU.
+    /// Blocks until the kernel has run either way and reports where.
+    pub fn run(&self, worker: Option<usize>, kernel: impl FnOnce() + Send + 'static) -> LaunchSite {
+        match self.pool_for(worker).launch(kernel) {
+            LaunchOutcome::Gpu(event) => {
+                event.get();
+                LaunchSite::Gpu
+            }
+            LaunchOutcome::CpuFallback(kernel) => {
+                kernel();
+                LaunchSite::Cpu
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::device::DeviceSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn run_executes_on_gpu_when_idle() {
+        let dev = Device::new(DeviceSpec::p100(), 4);
+        let ctx = GpuContext::new(&dev, 2, QueuePolicy::CpuFallback);
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        let site = ctx.run(Some(0), move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(site, LaunchSite::Gpu);
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(ctx.stats().gpu_launches(), 1);
+    }
+
+    #[test]
+    fn run_falls_back_inline_with_no_streams() {
+        // 1 stream over 2 workers: worker 1's pool is empty → every
+        // launch from it is a CPU fallback executed inline.
+        let dev = Device::new(DeviceSpec::p100(), 1);
+        let ctx = GpuContext::new(&dev, 2, QueuePolicy::CpuFallback);
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        let site = ctx.run(Some(1), move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(site, LaunchSite::Cpu);
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(ctx.stats().cpu_launches(), 1);
+    }
+}

@@ -14,6 +14,17 @@
 //! * [`multipole_kernel`] — the combined multipole–multipole /
 //!   multipole–monopole kernel (455 flops/interaction): full M2L with
 //!   quadrupoles and the conservation corrections.
+//!
+//! The innermost loops are **branchless**: instead of testing the
+//! per-cell `present` flag (which defeats vectorization, exactly the
+//! branch-divergence problem GPU kernels predicate away), each slot
+//! carries a `mask` weight of 1.0/0.0 and every contribution is
+//! multiplied by `mask[t] · mask[s]`. Absent slots hold `m = 0` and a
+//! softened separation (`r² += 1 − w`) keeps the 1/r tensors finite, so
+//! masked-out pairs contribute exact (signed) zeros. Multiplication by
+//! 1.0 is exact in IEEE arithmetic, so present pairs are bit-identical
+//! to the branchy formulation. `present` is retained only for
+//! [`MomentGrid::get`] semantics and the interaction counters.
 
 use crate::expansion::LocalExpansion;
 use crate::multipole::Multipole;
@@ -31,6 +42,10 @@ pub struct MomentGrid {
     pub comy: Vec<f64>,
     pub comz: Vec<f64>,
     pub q: [Vec<f64>; 6],
+    /// Branchless predication weight: 1.0 where source data exists,
+    /// 0.0 elsewhere. Kernels multiply contributions by this instead of
+    /// branching on `present`.
+    pub mask: Vec<f64>,
     /// Whether source data exists at this slot (false outside the
     /// domain or where no neighbor provides data).
     pub present: Vec<bool>,
@@ -49,6 +64,7 @@ impl MomentGrid {
             comy: vec![0.0; n],
             comz: vec![0.0; n],
             q: std::array::from_fn(|_| vec![0.0; n]),
+            mask: vec![0.0; n],
             present: vec![false; n],
         }
     }
@@ -56,6 +72,20 @@ impl MomentGrid {
     /// Halo width.
     pub fn width(&self) -> i32 {
         self.width
+    }
+
+    /// Zero every slot, restoring the state of a freshly built grid
+    /// without reallocating — the scratch-pool reuse path.
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.comx.fill(0.0);
+        self.comy.fill(0.0);
+        self.comz.fill(0.0);
+        for c in &mut self.q {
+            c.fill(0.0);
+        }
+        self.mask.fill(0.0);
+        self.present.fill(false);
     }
 
     /// Flattened index of extended coordinates in
@@ -77,6 +107,7 @@ impl MomentGrid {
         for c in 0..6 {
             self.q[c][n] = mp.q[c];
         }
+        self.mask[n] = 1.0;
         self.present[n] = true;
     }
 
@@ -106,84 +137,105 @@ fn interior_index(i: isize, j: isize, k: isize) -> usize {
     ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize
 }
 
-/// Monopole–monopole kernel: point masses only (leaf/leaf node pairs).
-/// Applies `offsets` to every interior cell.
-pub fn monopole_kernel(grid: &MomentGrid, offsets: &[(i32, i32, i32)]) -> KernelResult {
-    let n = N_SUB as isize;
-    let mut out = vec![LocalExpansion::default(); (n * n * n) as usize];
-    let mut interactions = 0u64;
-    for &(dx, dy, dz) in offsets {
-        for i in 0..n {
-            for j in 0..n {
-                for k in 0..n {
-                    let t_idx = grid.idx(i, j, k);
-                    if !grid.present[t_idx] {
-                        continue;
-                    }
-                    let (si, sj, sk) = (i + dx as isize, j + dy as isize, k + dz as isize);
-                    let s_idx = grid.idx(si, sj, sk);
-                    if !grid.present[s_idx] {
-                        continue;
-                    }
-                    let d = Vec3::new(
-                        grid.comx[t_idx] - grid.comx[s_idx],
-                        grid.comy[t_idx] - grid.comy[s_idx],
-                        grid.comz[t_idx] - grid.comz[s_idx],
-                    );
-                    let r2 = d.norm2();
-                    let u = 1.0 / r2.sqrt();
-                    let u3 = u / r2;
-                    let e = &mut out[interior_index(i, j, k)];
-                    let ms = grid.m[s_idx];
-                    e.phi += ms * (-u);
-                    e.dphi += d * (ms * u3);
-                    // Canonical mirror-exact force term.
-                    e.force += d * (u3 * (-(grid.m[t_idx] * ms)));
-                    interactions += 1;
-                }
-            }
-        }
-    }
-    KernelResult { expansions: out, interactions }
+/// Reset `out` to `N_SUB³` default expansions without shrinking its
+/// capacity (zero-allocation on reuse).
+#[inline]
+fn reset_expansions(out: &mut Vec<LocalExpansion>) {
+    out.clear();
+    out.resize(N_SUB * N_SUB * N_SUB, LocalExpansion::default());
 }
 
-/// The combined multipole kernel: full M2L with quadrupoles and
-/// conservation corrections, for every interior cell over `offsets`.
-pub fn multipole_kernel(grid: &MomentGrid, offsets: &[(i32, i32, i32)]) -> KernelResult {
-    let n = N_SUB as isize;
-    let mut out = vec![LocalExpansion::default(); (n * n * n) as usize];
-    let mut interactions = 0u64;
-    for &(dx, dy, dz) in offsets {
-        for i in 0..n {
-            for j in 0..n {
-                for k in 0..n {
-                    let t_idx = grid.idx(i, j, k);
-                    if !grid.present[t_idx] {
-                        continue;
+/// Branchless monopole accumulation: all contributions are weighted by
+/// `w = mask[t]·mask[s]` and the separation is softened by `1 − w` so
+/// masked slots produce exact zeros instead of NaNs.
+#[inline]
+fn accum_monopole(grid: &MomentGrid, t_idx: usize, s_idx: usize, e: &mut LocalExpansion) {
+    let w = grid.mask[t_idx] * grid.mask[s_idx];
+    let d = Vec3::new(
+        grid.comx[t_idx] - grid.comx[s_idx],
+        grid.comy[t_idx] - grid.comy[s_idx],
+        grid.comz[t_idx] - grid.comz[s_idx],
+    );
+    let r2 = d.norm2() + (1.0 - w);
+    let u = w / r2.sqrt();
+    let u3 = u / r2;
+    let ms = grid.m[s_idx];
+    e.phi += ms * (-u);
+    e.dphi += d * (ms * u3);
+    // Canonical mirror-exact force term.
+    e.force += d * (u3 * (-(grid.m[t_idx] * ms)));
+}
+
+/// Branchless multipole accumulation: the source moments are scaled by
+/// the pair weight (every accumulated term is linear in them), and the
+/// softened tensors stay finite on masked slots.
+#[inline]
+fn accum_multipole(grid: &MomentGrid, t_idx: usize, s_idx: usize, e: &mut LocalExpansion) {
+    let w = grid.mask[t_idx] * grid.mask[s_idx];
+    let tgt = Multipole {
+        m: grid.m[t_idx],
+        com: Vec3::new(grid.comx[t_idx], grid.comy[t_idx], grid.comz[t_idx]),
+        q: std::array::from_fn(|c| grid.q[c][t_idx]),
+    };
+    let src = Multipole {
+        m: grid.m[s_idx] * w,
+        com: Vec3::new(grid.comx[s_idx], grid.comy[s_idx], grid.comz[s_idx]),
+        q: std::array::from_fn(|c| grid.q[c][s_idx] * w),
+    };
+    e.accumulate_softened(&tgt, &src, tgt.com - src.com, 1.0 - w);
+}
+
+macro_rules! offset_kernel {
+    ($name:ident, $name_into:ident, $accum:ident, $doc:literal) => {
+        #[doc = $doc]
+        /// Writes into a caller-provided buffer (reset first); returns
+        /// the interaction count.
+        pub fn $name_into(
+            grid: &MomentGrid,
+            offsets: &[(i32, i32, i32)],
+            out: &mut Vec<LocalExpansion>,
+        ) -> u64 {
+            let n = N_SUB as isize;
+            reset_expansions(out);
+            let mut interactions = 0u64;
+            for &(dx, dy, dz) in offsets {
+                for i in 0..n {
+                    for j in 0..n {
+                        for k in 0..n {
+                            let t_idx = grid.idx(i, j, k);
+                            let s_idx =
+                                grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
+                            $accum(grid, t_idx, s_idx, &mut out[interior_index(i, j, k)]);
+                            interactions +=
+                                (grid.present[t_idx] & grid.present[s_idx]) as u64;
+                        }
                     }
-                    let (si, sj, sk) = (i + dx as isize, j + dy as isize, k + dz as isize);
-                    let s_idx = grid.idx(si, sj, sk);
-                    if !grid.present[s_idx] {
-                        continue;
-                    }
-                    let tgt = Multipole {
-                        m: grid.m[t_idx],
-                        com: Vec3::new(grid.comx[t_idx], grid.comy[t_idx], grid.comz[t_idx]),
-                        q: std::array::from_fn(|c| grid.q[c][t_idx]),
-                    };
-                    let src = Multipole {
-                        m: grid.m[s_idx],
-                        com: Vec3::new(grid.comx[s_idx], grid.comy[s_idx], grid.comz[s_idx]),
-                        q: std::array::from_fn(|c| grid.q[c][s_idx]),
-                    };
-                    out[interior_index(i, j, k)].accumulate(&tgt, &src, tgt.com - src.com);
-                    interactions += 1;
                 }
             }
+            interactions
         }
-    }
-    KernelResult { expansions: out, interactions }
+
+        #[doc = $doc]
+        pub fn $name(grid: &MomentGrid, offsets: &[(i32, i32, i32)]) -> KernelResult {
+            let mut out = Vec::new();
+            let interactions = $name_into(grid, offsets, &mut out);
+            KernelResult { expansions: out, interactions }
+        }
+    };
 }
+
+offset_kernel!(
+    monopole_kernel,
+    monopole_kernel_into,
+    accum_monopole,
+    "Monopole–monopole kernel: point masses only (leaf/leaf node pairs). Applies `offsets` to every interior cell."
+);
+offset_kernel!(
+    multipole_kernel,
+    multipole_kernel_into,
+    accum_multipole,
+    "The combined multipole kernel: full M2L with quadrupoles and conservation corrections, for every interior cell over `offsets`."
+);
 
 /// Build the extended moment grid for one node from its own cell
 /// moments and a halo lookup: `lookup(i, j, k)` returns the moment of
@@ -194,7 +246,19 @@ pub fn gather_moments(
     lookup: impl Fn(isize, isize, isize) -> Option<Multipole>,
 ) -> MomentGrid {
     let mut grid = MomentGrid::new(width);
-    let w = width as isize;
+    gather_moments_into(&mut grid, lookup);
+    grid
+}
+
+/// [`gather_moments`] into an existing (e.g. pooled) grid of the right
+/// width; the grid is reset first, so the result is identical to a
+/// freshly built one.
+pub fn gather_moments_into(
+    grid: &mut MomentGrid,
+    lookup: impl Fn(isize, isize, isize) -> Option<Multipole>,
+) {
+    grid.reset();
+    let w = grid.width() as isize;
     let n = N_SUB as isize;
     for i in -w..n + w {
         for j in -w..n + w {
@@ -205,7 +269,6 @@ pub fn gather_moments(
             }
         }
     }
-    grid
 }
 
 /// Parity of a cell: `(i&1) | ((j&1)<<1) | ((k&1)<<2)`.
@@ -215,74 +278,50 @@ fn parity_of(i: isize, j: isize, k: isize) -> u8 {
 }
 
 macro_rules! parity_kernel {
-    ($name:ident, $accum:expr) => {
-        /// Parity-exact same-level kernel: each cell uses the offset
-        /// list of its parity, so every pair is owned by exactly one
-        /// level of the tree walk.
-        pub fn $name(grid: &MomentGrid, stencil: &Stencil) -> KernelResult {
+    ($name:ident, $name_into:ident, $accum:ident) => {
+        /// Parity-exact same-level kernel (buffer-reusing variant):
+        /// each cell uses the offset list of its parity, so every pair
+        /// is owned by exactly one level of the tree walk.
+        pub fn $name_into(
+            grid: &MomentGrid,
+            stencil: &Stencil,
+            out: &mut Vec<LocalExpansion>,
+        ) -> u64 {
             let n = N_SUB as isize;
-            let mut out = vec![LocalExpansion::default(); (n * n * n) as usize];
+            reset_expansions(out);
             let mut interactions = 0u64;
             for i in 0..n {
                 for j in 0..n {
                     for k in 0..n {
                         let t_idx = grid.idx(i, j, k);
-                        if !grid.present[t_idx] {
-                            continue;
-                        }
+                        let e = &mut out[interior_index(i, j, k)];
                         let offsets = stencil.for_parity(parity_of(i, j, k));
                         for &(dx, dy, dz) in offsets {
                             let s_idx =
                                 grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
-                            if !grid.present[s_idx] {
-                                continue;
-                            }
-                            let e = &mut out[interior_index(i, j, k)];
-                            #[allow(clippy::redundant_closure_call)]
-                            ($accum)(grid, t_idx, s_idx, e);
-                            interactions += 1;
+                            $accum(grid, t_idx, s_idx, e);
+                            interactions +=
+                                (grid.present[t_idx] & grid.present[s_idx]) as u64;
                         }
                     }
                 }
             }
+            interactions
+        }
+
+        /// Parity-exact same-level kernel: each cell uses the offset
+        /// list of its parity, so every pair is owned by exactly one
+        /// level of the tree walk.
+        pub fn $name(grid: &MomentGrid, stencil: &Stencil) -> KernelResult {
+            let mut out = Vec::new();
+            let interactions = $name_into(grid, stencil, &mut out);
             KernelResult { expansions: out, interactions }
         }
     };
 }
 
-#[inline]
-fn accum_monopole(grid: &MomentGrid, t_idx: usize, s_idx: usize, e: &mut LocalExpansion) {
-    let d = Vec3::new(
-        grid.comx[t_idx] - grid.comx[s_idx],
-        grid.comy[t_idx] - grid.comy[s_idx],
-        grid.comz[t_idx] - grid.comz[s_idx],
-    );
-    let r2 = d.norm2();
-    let u = 1.0 / r2.sqrt();
-    let u3 = u / r2;
-    let ms = grid.m[s_idx];
-    e.phi += ms * (-u);
-    e.dphi += d * (ms * u3);
-    e.force += d * (u3 * (-(grid.m[t_idx] * ms)));
-}
-
-#[inline]
-fn accum_multipole(grid: &MomentGrid, t_idx: usize, s_idx: usize, e: &mut LocalExpansion) {
-    let tgt = Multipole {
-        m: grid.m[t_idx],
-        com: Vec3::new(grid.comx[t_idx], grid.comy[t_idx], grid.comz[t_idx]),
-        q: std::array::from_fn(|c| grid.q[c][t_idx]),
-    };
-    let src = Multipole {
-        m: grid.m[s_idx],
-        com: Vec3::new(grid.comx[s_idx], grid.comy[s_idx], grid.comz[s_idx]),
-        q: std::array::from_fn(|c| grid.q[c][s_idx]),
-    };
-    e.accumulate(&tgt, &src, tgt.com - src.com);
-}
-
-parity_kernel!(monopole_kernel_stencil, accum_monopole);
-parity_kernel!(multipole_kernel_stencil, accum_multipole);
+parity_kernel!(monopole_kernel_stencil, monopole_kernel_stencil_into, accum_monopole);
+parity_kernel!(multipole_kernel_stencil, multipole_kernel_stencil_into, accum_multipole);
 
 #[cfg(test)]
 mod tests {
@@ -310,6 +349,8 @@ mod tests {
         };
         g.set(-2, 5, 9, &mp);
         assert_eq!(g.get(-2, 5, 9).unwrap(), mp);
+        g.reset();
+        assert!(g.get(-2, 5, 9).is_none());
     }
 
     #[test]
@@ -434,5 +475,59 @@ mod tests {
         let res = monopole_kernel(&grid, s.offsets());
         assert_eq!(res.interactions, 0);
         assert!(res.expansions.iter().all(|e| e.phi == 0.0));
+    }
+
+    #[test]
+    fn masked_slots_contribute_exact_zero() {
+        // A partially filled grid: the branchless (masked) kernels must
+        // produce finite values everywhere and exact zeros for cells
+        // with no present pairs.
+        let s = Stencil::octotiger();
+        let n = N_SUB as isize;
+        let grid = gather_moments(s.width(), |i, j, k| {
+            if (0..n).contains(&i) && (0..n).contains(&j) && (0..n).contains(&k) && (i + j + k) % 2 == 0 {
+                Some(Multipole::monopole(1.0, Vec3::new(i as f64, j as f64, k as f64)))
+            } else {
+                None
+            }
+        });
+        for res in [
+            monopole_kernel(&grid, s.offsets()),
+            multipole_kernel(&grid, s.offsets()),
+            monopole_kernel_stencil(&grid, &s),
+            multipole_kernel_stencil(&grid, &s),
+        ] {
+            assert!(res.expansions.iter().all(|e| e.phi.is_finite()
+                && e.dphi.norm().is_finite()
+                && e.force.norm().is_finite()));
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let s = Stencil::octotiger();
+        let grid = lattice(s.width());
+        let fresh = monopole_kernel_stencil(&grid, &s);
+        // A dirty, reused buffer must give identical results.
+        let mut buf = vec![
+            LocalExpansion {
+                phi: 99.0,
+                ..LocalExpansion::default()
+            };
+            7
+        ];
+        let cap_marker = {
+            buf.reserve(600);
+            buf.capacity()
+        };
+        let interactions = monopole_kernel_stencil_into(&grid, &s, &mut buf);
+        assert_eq!(interactions, fresh.interactions);
+        assert_eq!(buf.capacity(), cap_marker, "no reallocation on reuse");
+        for (a, b) in buf.iter().zip(fresh.expansions.iter()) {
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+            for ax in 0..3 {
+                assert_eq!(a.force[ax].to_bits(), b.force[ax].to_bits());
+            }
+        }
     }
 }

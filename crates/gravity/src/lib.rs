@@ -38,15 +38,19 @@
 
 pub mod direct;
 pub mod expansion;
+pub mod gpu;
 pub mod interaction_list;
 pub mod kernels;
 pub mod multipole;
+pub mod scratch;
 pub mod solver;
 pub mod stencil;
 pub mod tensors;
 
 pub use expansion::LocalExpansion;
+pub use gpu::GpuContext;
 pub use multipole::Multipole;
+pub use scratch::ScratchPool;
 pub use solver::{FmmSolver, GravityField};
 pub use stencil::Stencil;
 

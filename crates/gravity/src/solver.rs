@@ -18,20 +18,47 @@
 //! carried at the coarse level, so conservation across AMR interfaces
 //! is approximate (round-off level on uniform grids, truncation level
 //! at refinement jumps — measured in EXPERIMENTS.md).
+//!
+//! **Futurization** (§4.1): [`FmmSolver::solve_parallel`] runs the same
+//! walk as a task graph on the [`amt`] runtime — one task per node for
+//! the moment (per level, bottom-up), same-level, downward (per level,
+//! top-down) and leaf-assembly passes, joined by `when_all` barriers.
+//! Every per-node computation is the *same function* the serial path
+//! calls, and per-node results are merged into maps by key (never by
+//! arrival order), so the parallel field is bit-identical to the serial
+//! one at any thread count — the invariant `fmm_parallel_matches_serial`
+//! pins down. Scratch buffers come from the solver's [`ScratchPool`]
+//! and kernel launches are routed through the optional [`GpuContext`]
+//! (§5.1 stream-idle decision).
 
 use crate::expansion::LocalExpansion;
+use crate::gpu::{GpuContext, LaunchSite};
 use crate::kernels::{
-    gather_moments, monopole_kernel, monopole_kernel_stencil, multipole_kernel,
-    multipole_kernel_stencil, MomentGrid,
+    gather_moments_into, monopole_kernel_into, monopole_kernel_stencil_into,
+    multipole_kernel_into, multipole_kernel_stencil_into, MomentGrid,
 };
 use crate::multipole::Multipole;
+use crate::scratch::ScratchPool;
 use crate::stencil::Stencil;
+use amt::{when_all, Runtime};
 use octree::subgrid::{Field, N_SUB};
 use octree::tree::Octree;
+use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use util::morton::MortonKey;
 use util::vec3::Vec3;
+
+/// Per-cell multipole moments of every node, keyed by node. Values are
+/// `Arc`ed so per-level snapshots taken by the parallel moment pass are
+/// O(nodes) pointer bumps, not deep copies.
+pub type MomentMap = HashMap<MortonKey, Arc<Vec<Multipole>>>;
+
+/// Inherited per-cell data handed from parent to child in the downward
+/// pass: (translated expansion, force-correction share, torque share).
+type Inherited = (LocalExpansion, Vec3, Vec3);
 
 /// Gravity data for one cell of a leaf sub-grid.
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,6 +83,10 @@ pub struct GravityField {
     pub interactions: u64,
     /// Number of kernel launches (one per node per pass).
     pub kernel_launches: u64,
+    /// Launches executed inline on a CPU worker.
+    pub kernel_launches_cpu: u64,
+    /// Launches executed on an idle stream of the simulated GPU.
+    pub kernel_launches_gpu: u64,
 }
 
 impl GravityField {
@@ -82,6 +113,138 @@ fn cell_index(i: isize, j: isize, k: isize) -> usize {
     ((i * n + j) * n + k) as usize
 }
 
+/// Step-1 work of a single node: per-cell multipole moments. Leaf cells
+/// are point masses; refined nodes aggregate their 8 children by M2M.
+/// Children (at `key.level + 1`) must already be present in `moments`.
+fn compute_node_moments(tree: &Octree, moments: &MomentMap, key: MortonKey) -> Vec<Multipole> {
+    let domain = tree.domain();
+    let level = key.level;
+    let node = tree.node(key).expect("key exists in tree");
+    let mut cells = vec![Multipole::default(); N_SUB * N_SUB * N_SUB];
+    if !node.refined {
+        let grid = node.grid.as_ref().expect("leaf grid");
+        let vol = domain.cell_volume(level);
+        for (i, j, k) in grid.indexer().interior() {
+            let m = grid.at(Field::Rho, i, j, k).max(0.0) * vol;
+            let c = domain.cell_center(key, i, j, k);
+            cells[cell_index(i, j, k)] = Multipole::monopole(m, c);
+        }
+    } else {
+        // M2M from the 8 children, cell by cell.
+        for i in 0..N_SUB as isize {
+            for j in 0..N_SUB as isize {
+                for k in 0..N_SUB as isize {
+                    let h = N_SUB as isize / 2;
+                    let octant = ((i / h) | ((j / h) << 1) | ((k / h) << 2)) as u8;
+                    let child_key = key.child(octant);
+                    let child_cells = &moments[&child_key];
+                    let (bi, bj, bk) = (2 * (i % h), 2 * (j % h), 2 * (k % h));
+                    let mut parts = [Multipole::default(); 8];
+                    for d in 0..8u8 {
+                        let (di, dj, dk) =
+                            ((d & 1) as isize, ((d >> 1) & 1) as isize, ((d >> 2) & 1) as isize);
+                        parts[d as usize] = child_cells[cell_index(bi + di, bj + dj, bk + dk)];
+                    }
+                    cells[cell_index(i, j, k)] = Multipole::combine(&parts);
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Step-3 work of a single refined node: translate its total expansion
+/// to each child's cells (L2L) and split the conservation ledgers
+/// mass-weighted. Returns the 8 children's inherited vectors; each
+/// child has exactly one parent, so the caller can insert them by key
+/// without any cross-task accumulation.
+fn downward_node(
+    moments: &MomentMap,
+    same: &HashMap<MortonKey, Vec<LocalExpansion>>,
+    key: MortonKey,
+    own_inh: Option<&Vec<Inherited>>,
+) -> Vec<(MortonKey, Vec<Inherited>)> {
+    let own_same = &same[&key];
+    let own_moments = &moments[&key];
+    let h = N_SUB as isize / 2;
+    let mut children: Vec<(MortonKey, Vec<Inherited>)> = (0..8u8)
+        .map(|o| {
+            (
+                key.child(o),
+                vec![(LocalExpansion::default(), Vec3::ZERO, Vec3::ZERO); N_SUB * N_SUB * N_SUB],
+            )
+        })
+        .collect();
+    for i in 0..N_SUB as isize {
+        for j in 0..N_SUB as isize {
+            for k in 0..N_SUB as isize {
+                let ci = cell_index(i, j, k);
+                let mut total = own_same[ci];
+                let (inh_fc, inh_tq) = match own_inh {
+                    Some(v) => {
+                        total.add(&v[ci].0);
+                        (v[ci].1, v[ci].2)
+                    }
+                    None => (Vec3::ZERO, Vec3::ZERO),
+                };
+                let parent_mp = own_moments[ci];
+                // Ledger to distribute to children, mass weighted.
+                let ledger_f = total.f_corr + inh_fc;
+                let ledger_t = total.torque + inh_tq;
+                let octant = ((i / h) | ((j / h) << 1) | ((k / h) << 2)) as u8;
+                let (child_key, entry) = &mut children[octant as usize];
+                let child_moments = &moments[child_key];
+                for d in 0..8u8 {
+                    let (di, dj, dk) =
+                        ((d & 1) as isize, ((d >> 1) & 1) as isize, ((d >> 2) & 1) as isize);
+                    let cci = cell_index(2 * (i % h) + di, 2 * (j % h) + dj, 2 * (k % h) + dk);
+                    let cmp = child_moments[cci];
+                    let delta = cmp.com - parent_mp.com;
+                    let translated = total.translated(delta);
+                    entry[cci].0.add(&translated);
+                    let share = if parent_mp.m > 0.0 {
+                        cmp.m / parent_mp.m
+                    } else {
+                        0.125
+                    };
+                    entry[cci].1 += ledger_f * share;
+                    entry[cci].2 += ledger_t * share;
+                }
+            }
+        }
+    }
+    children
+}
+
+/// Final assembly of one leaf: combine same-level and inherited data
+/// into per-cell outputs.
+fn assemble_leaf(
+    vol: f64,
+    own_same: &[LocalExpansion],
+    own_inh: Option<&Vec<Inherited>>,
+    own_moments: &[Multipole],
+) -> Vec<CellGravity> {
+    let mut out = vec![CellGravity::default(); N_SUB * N_SUB * N_SUB];
+    for ci in 0..out.len() {
+        let s = &own_same[ci];
+        let (inh_exp, inh_fc, inh_tq) = match own_inh {
+            Some(v) => (v[ci].0, v[ci].1, v[ci].2),
+            None => (LocalExpansion::default(), Vec3::ZERO, Vec3::ZERO),
+        };
+        let m = own_moments[ci].m;
+        let phi = s.phi + inh_exp.phi;
+        let g = -(s.dphi + inh_exp.dphi);
+        let inherited_force = -inh_exp.dphi * m + inh_fc;
+        out[ci] = CellGravity {
+            phi,
+            g,
+            force_density: (s.force + inherited_force) / vol,
+            torque_density: (s.torque + inh_tq) / vol,
+        };
+    }
+    out
+}
+
 /// The FMM gravity solver.
 pub struct FmmSolver {
     stencil: Stencil,
@@ -90,11 +253,26 @@ pub struct FmmSolver {
     /// defer to, so *every* separated pair inside the root node (offsets
     /// up to ±(N_SUB − 1)) interacts here.
     root_offsets: Vec<(i32, i32, i32)>,
+    /// Recycled kernel staging buffers (see [`ScratchPool`]).
+    scratch: ScratchPool,
+    /// When present, kernel launches go through the §5.1 stream-idle
+    /// decision; when absent every launch is a CPU launch.
+    gpu: Option<GpuContext>,
 }
 
 impl FmmSolver {
     /// Build a solver with opening parameter `theta` (0.5 = Octo-Tiger).
     pub fn new(theta: f64) -> FmmSolver {
+        Self::build(theta, None)
+    }
+
+    /// Build a solver whose kernel launches are routed through the
+    /// simulated GPU `ctx` (idle stream → GPU, otherwise CPU).
+    pub fn with_gpu(theta: f64, ctx: GpuContext) -> FmmSolver {
+        Self::build(theta, Some(ctx))
+    }
+
+    fn build(theta: f64, gpu: Option<GpuContext>) -> FmmSolver {
         let sep2 = crate::stencil::separation2(theta);
         let reach = N_SUB as i32 - 1;
         let mut root_offsets = Vec::new();
@@ -114,6 +292,8 @@ impl FmmSolver {
             stencil: Stencil::generate(theta),
             near_field: Stencil::near_field(theta),
             root_offsets,
+            scratch: ScratchPool::new(),
+            gpu,
         }
     }
 
@@ -122,70 +302,82 @@ impl FmmSolver {
         &self.stencil
     }
 
+    /// The scratch pool (hit/miss counters for tests and benches).
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
+    }
+
+    /// The GPU launch context, if kernel routing is enabled.
+    pub fn gpu(&self) -> Option<&GpuContext> {
+        self.gpu.as_ref()
+    }
+
+    /// Halo width of the gathered moment grid.
+    fn gather_width(&self) -> i32 {
+        self.stencil.width().max(N_SUB as i32 - 1)
+    }
+
     /// Solve the gravitational field of `tree` (which must carry grids).
     pub fn solve(&self, tree: &Octree) -> GravityField {
         let moments = self.compute_moments(tree);
         self.solve_with_moments(tree, &moments)
     }
 
+    /// Futurized solve: same tree walk as [`FmmSolver::solve`], run as
+    /// one task per node per pass on `rt`. Bit-identical output.
+    pub fn solve_parallel(self: &Arc<Self>, tree: &Arc<Octree>, rt: &Arc<Runtime>) -> GravityField {
+        let moments = Arc::new(self.compute_moments_parallel(tree, rt));
+        self.solve_with_moments_parallel(tree, &moments, rt)
+    }
+
     /// Step 1: per-cell multipole moments for every node, bottom-up.
-    pub fn compute_moments(&self, tree: &Octree) -> HashMap<MortonKey, Vec<Multipole>> {
+    pub fn compute_moments(&self, tree: &Octree) -> MomentMap {
         assert!(tree.has_grids(), "FMM needs grid data");
-        let domain = tree.domain();
-        let mut moments: HashMap<MortonKey, Vec<Multipole>> = HashMap::new();
-        let mut levels: Vec<u8> = (0..=tree.max_level()).collect();
-        levels.reverse();
-        for &level in &levels {
+        let mut moments: MomentMap = HashMap::new();
+        for level in (0..=tree.max_level()).rev() {
             for key in tree.level_keys(level) {
-                let node = tree.node(key).expect("key from level_keys");
-                let mut cells = vec![Multipole::default(); N_SUB * N_SUB * N_SUB];
-                if !node.refined {
-                    let grid = node.grid.as_ref().expect("leaf grid");
-                    let vol = domain.cell_volume(level);
-                    for (i, j, k) in grid.indexer().interior() {
-                        let m = grid.at(Field::Rho, i, j, k).max(0.0) * vol;
-                        let c = domain.cell_center(key, i, j, k);
-                        cells[cell_index(i, j, k)] = Multipole::monopole(m, c);
-                    }
-                } else {
-                    // M2M from the 8 children, cell by cell.
-                    for i in 0..N_SUB as isize {
-                        for j in 0..N_SUB as isize {
-                            for k in 0..N_SUB as isize {
-                                let h = N_SUB as isize / 2;
-                                let octant =
-                                    ((i / h) | ((j / h) << 1) | ((k / h) << 2)) as u8;
-                                let child_key = key.child(octant);
-                                let child_cells = &moments[&child_key];
-                                let (bi, bj, bk) =
-                                    (2 * (i % h), 2 * (j % h), 2 * (k % h));
-                                let mut parts = [Multipole::default(); 8];
-                                for d in 0..8u8 {
-                                    let (di, dj, dk) =
-                                        ((d & 1) as isize, ((d >> 1) & 1) as isize, ((d >> 2) & 1) as isize);
-                                    parts[d as usize] =
-                                        child_cells[cell_index(bi + di, bj + dj, bk + dk)];
-                                }
-                                cells[cell_index(i, j, k)] = Multipole::combine(&parts);
-                            }
-                        }
-                    }
-                }
+                let cells = compute_node_moments(tree, &moments, key);
+                moments.insert(key, Arc::new(cells));
+            }
+        }
+        moments
+    }
+
+    /// Step 1, futurized: one task per node, level by level bottom-up
+    /// (a level's tasks only read the finished levels below, snapshotted
+    /// behind an `Arc`).
+    pub fn compute_moments_parallel(&self, tree: &Arc<Octree>, rt: &Arc<Runtime>) -> MomentMap {
+        assert!(tree.has_grids(), "FMM needs grid data");
+        let sched = Arc::clone(rt.scheduler());
+        let mut moments: MomentMap = HashMap::new();
+        for level in (0..=tree.max_level()).rev() {
+            // Cheap snapshot: clones Arcs, not moment vectors.
+            let snapshot = Arc::new(moments.clone());
+            let mut futs = Vec::new();
+            for key in tree.level_keys(level) {
+                let tree = Arc::clone(tree);
+                let snap = Arc::clone(&snapshot);
+                futs.push(
+                    rt.async_call(move || (key, Arc::new(compute_node_moments(&tree, &snap, key)))),
+                );
+            }
+            for (key, cells) in when_all(&sched, futs).get_help(&sched) {
                 moments.insert(key, cells);
             }
         }
         moments
     }
 
-    /// Gather the extended moment grid of node `key`. Returns the grid
-    /// and whether any gathered cell carries quadrupole moments.
-    fn gather(
+    /// Gather the extended moment grid of node `key` into `grid`.
+    /// Returns whether any gathered cell carries quadrupole moments.
+    fn gather_into(
         &self,
         tree: &Octree,
-        moments: &HashMap<MortonKey, Vec<Multipole>>,
+        moments: &MomentMap,
         key: MortonKey,
-    ) -> (MomentGrid, bool) {
-        let width = self.stencil.width().max(N_SUB as i32 - 1);
+        grid: &mut MomentGrid,
+    ) -> bool {
+        debug_assert_eq!(grid.width(), self.gather_width());
         let level = key.level;
         let domain = tree.domain();
         let n = N_SUB as i64;
@@ -193,7 +385,7 @@ impl FmmSolver {
         let (kx, ky, kz) = key.coords();
         let base = (kx as i64 * n, ky as i64 * n, kz as i64 * n);
         let any_quad = Cell::new(false);
-        let grid = gather_moments(width, |i, j, k| {
+        gather_moments_into(grid, |i, j, k| {
             let g = (base.0 + i as i64, base.1 + j as i64, base.2 + k as i64);
             if g.0 < 0 || g.1 < 0 || g.2 < 0 || g.0 >= max_global || g.1 >= max_global || g.2 >= max_global {
                 return None;
@@ -251,121 +443,147 @@ impl FmmSolver {
             };
             Some(Multipole::monopole(coarse.m * frac, center))
         });
-        (grid, any_quad.get())
+        any_quad.get()
     }
 
-    /// Run the full solve given precomputed moments.
-    pub fn solve_with_moments(
+    /// Same-level kernel of one node. The root has no parent level: run
+    /// all separated pairs there; other levels use the parity-exact
+    /// stencils.
+    fn same_level_kernel_into(
         &self,
+        grid: &MomentGrid,
+        level: u8,
+        any_quad: bool,
+        out: &mut Vec<LocalExpansion>,
+    ) -> u64 {
+        if level == 0 {
+            if any_quad {
+                multipole_kernel_into(grid, &self.root_offsets, out)
+            } else {
+                monopole_kernel_into(grid, &self.root_offsets, out)
+            }
+        } else if any_quad {
+            multipole_kernel_stencil_into(grid, &self.stencil, out)
+        } else {
+            monopole_kernel_stencil_into(grid, &self.stencil, out)
+        }
+    }
+
+    /// Near-field kernel of one leaf (pairs inside the opening
+    /// criterion).
+    fn near_field_kernel_into(
+        &self,
+        grid: &MomentGrid,
+        any_quad: bool,
+        out: &mut Vec<LocalExpansion>,
+    ) -> u64 {
+        if any_quad {
+            multipole_kernel_into(grid, &self.near_field, out)
+        } else {
+            monopole_kernel_into(grid, &self.near_field, out)
+        }
+    }
+
+    /// Execute a kernel closure through the §5.1 launch decision (when
+    /// a GPU context is attached) or inline. Returns the closure's
+    /// result and where it ran.
+    fn routed<T: Send + 'static>(
+        &self,
+        worker: Option<usize>,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> (T, LaunchSite) {
+        match &self.gpu {
+            None => (f(), LaunchSite::Cpu),
+            Some(ctx) => {
+                let slot = Arc::new(Mutex::new(None));
+                let s = Arc::clone(&slot);
+                let site = ctx.run(worker, move || *s.lock() = Some(f()));
+                let value = slot.lock().take().expect("kernel executed");
+                (value, site)
+            }
+        }
+    }
+
+    /// Same-level + near-field pass of one node, with pooled buffers
+    /// and routed launches. Returns the node's expansions plus
+    /// (interactions, gpu launches, cpu launches).
+    fn same_level_node(
+        self: &Arc<Self>,
         tree: &Octree,
-        moments: &HashMap<MortonKey, Vec<Multipole>>,
-    ) -> GravityField {
+        moments: &MomentMap,
+        key: MortonKey,
+        worker: Option<usize>,
+    ) -> (Vec<LocalExpansion>, u64, u64, u64) {
+        let mut grid = self.scratch.take_grid(self.gather_width());
+        let any_quad = self.gather_into(tree, moments, key, &mut grid);
+        let is_leaf = tree.is_leaf(key);
+        let out = self.scratch.take_expansions();
+        let solver = Arc::clone(self);
+        let ((grid, mut out, mut interactions), site) = self.routed(worker, move || {
+            let mut out = out;
+            let n = solver.same_level_kernel_into(&grid, key.level, any_quad, &mut out);
+            (grid, out, n)
+        });
+        let mut gpu_launches = (site == LaunchSite::Gpu) as u64;
+        let mut cpu_launches = (site == LaunchSite::Cpu) as u64;
+        if is_leaf {
+            let near = self.scratch.take_expansions();
+            let solver = Arc::clone(self);
+            let ((grid, near, n), site) = self.routed(worker, move || {
+                let mut near = near;
+                let n = solver.near_field_kernel_into(&grid, any_quad, &mut near);
+                (grid, near, n)
+            });
+            interactions += n;
+            gpu_launches += (site == LaunchSite::Gpu) as u64;
+            cpu_launches += (site == LaunchSite::Cpu) as u64;
+            for (e, ne) in out.iter_mut().zip(near.iter()) {
+                e.add(ne);
+            }
+            self.scratch.put_expansions(near);
+            self.scratch.put_grid(grid);
+        } else {
+            self.scratch.put_grid(grid);
+        }
+        (out, interactions, gpu_launches, cpu_launches)
+    }
+
+    /// Run the full solve given precomputed moments (serial reference
+    /// path — same per-node functions as the parallel path).
+    pub fn solve_with_moments(&self, tree: &Octree, moments: &MomentMap) -> GravityField {
         let domain = tree.domain();
         let mut interactions = 0u64;
         let mut kernel_launches = 0u64;
         // Same-level pass for every node, keyed per node.
         let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::new();
         for (&key, _) in moments {
-            let (grid, any_quad) = self.gather(tree, moments, key);
-            let is_leaf = tree.is_leaf(key);
-            // The root has no parent level: run all separated pairs
-            // there; other levels use the parity-exact stencils.
-            let mut result = if key.level == 0 {
-                if any_quad {
-                    multipole_kernel(&grid, &self.root_offsets)
-                } else {
-                    monopole_kernel(&grid, &self.root_offsets)
-                }
-            } else if any_quad {
-                multipole_kernel_stencil(&grid, &self.stencil)
-            } else {
-                monopole_kernel_stencil(&grid, &self.stencil)
-            };
+            let mut grid = self.scratch.take_grid(self.gather_width());
+            let any_quad = self.gather_into(tree, moments, key, &mut grid);
+            let mut out = self.scratch.take_expansions();
+            interactions += self.same_level_kernel_into(&grid, key.level, any_quad, &mut out);
             kernel_launches += 1;
-            interactions += result.interactions;
-            if is_leaf {
-                // Near-field pass (pairs inside the opening criterion).
-                let near = if any_quad {
-                    multipole_kernel(&grid, &self.near_field)
-                } else {
-                    monopole_kernel(&grid, &self.near_field)
-                };
+            if tree.is_leaf(key) {
+                let mut near = self.scratch.take_expansions();
+                interactions += self.near_field_kernel_into(&grid, any_quad, &mut near);
                 kernel_launches += 1;
-                interactions += near.interactions;
-                for (e, ne) in result.expansions.iter_mut().zip(near.expansions.iter()) {
+                for (e, ne) in out.iter_mut().zip(near.iter()) {
                     e.add(ne);
                 }
+                self.scratch.put_expansions(near);
             }
-            same.insert(key, result.expansions);
+            self.scratch.put_grid(grid);
+            same.insert(key, out);
         }
         // Top-down: inherited (field, f_corr share, torque share).
-        type Inherited = (LocalExpansion, Vec3, Vec3);
         let mut inherited: HashMap<MortonKey, Vec<Inherited>> = HashMap::new();
-        let mut levels: Vec<u8> = (0..=tree.max_level()).collect();
-        levels.sort_unstable();
-        for &level in &levels {
+        for level in 0..=tree.max_level() {
             for key in tree.level_keys(level) {
-                let node = tree.node(key).expect("node exists");
-                if !node.refined {
+                if !tree.node(key).expect("node exists").refined {
                     continue;
                 }
-                let own_same = &same[&key];
-                let own_inh = inherited.get(&key).cloned();
-                let own_moments = &moments[&key];
-                let h = N_SUB as isize / 2;
-                for i in 0..N_SUB as isize {
-                    for j in 0..N_SUB as isize {
-                        for k in 0..N_SUB as isize {
-                            let ci = cell_index(i, j, k);
-                            let mut total = own_same[ci];
-                            let (inh_fc, inh_tq) = match &own_inh {
-                                Some(v) => {
-                                    total.add(&v[ci].0);
-                                    (v[ci].1, v[ci].2)
-                                }
-                                None => (Vec3::ZERO, Vec3::ZERO),
-                            };
-                            let parent_mp = own_moments[ci];
-                            // Ledger to distribute to children, mass
-                            // weighted.
-                            let ledger_f = total.f_corr + inh_fc;
-                            let ledger_t = total.torque + inh_tq;
-                            let octant = ((i / h) | ((j / h) << 1) | ((k / h) << 2)) as u8;
-                            let child_key = key.child(octant);
-                            let child_moments = &moments[&child_key];
-                            let entry = inherited
-                                .entry(child_key)
-                                .or_insert_with(|| {
-                                    vec![
-                                        (LocalExpansion::default(), Vec3::ZERO, Vec3::ZERO);
-                                        N_SUB * N_SUB * N_SUB
-                                    ]
-                                });
-                            for d in 0..8u8 {
-                                let (di, dj, dk) = (
-                                    (d & 1) as isize,
-                                    ((d >> 1) & 1) as isize,
-                                    ((d >> 2) & 1) as isize,
-                                );
-                                let cci = cell_index(
-                                    2 * (i % h) + di,
-                                    2 * (j % h) + dj,
-                                    2 * (k % h) + dk,
-                                );
-                                let cmp = child_moments[cci];
-                                let delta = cmp.com - parent_mp.com;
-                                let translated = total.translated(delta);
-                                entry[cci].0.add(&translated);
-                                let share = if parent_mp.m > 0.0 {
-                                    cmp.m / parent_mp.m
-                                } else {
-                                    0.125
-                                };
-                                entry[cci].1 += ledger_f * share;
-                                entry[cci].2 += ledger_t * share;
-                            }
-                        }
-                    }
+                let own_inh = inherited.remove(&key);
+                for (child_key, v) in downward_node(moments, &same, key, own_inh.as_ref()) {
+                    inherited.insert(child_key, v);
                 }
             }
         }
@@ -373,30 +591,142 @@ impl FmmSolver {
         let mut cells = HashMap::new();
         for key in tree.leaves() {
             let vol = domain.cell_volume(key.level);
-            let own_same = &same[&key];
-            let own_inh = inherited.get(&key);
-            let mut out = vec![CellGravity::default(); N_SUB * N_SUB * N_SUB];
-            let own_moments = &moments[&key];
-            for ci in 0..out.len() {
-                let s = &own_same[ci];
-                let (inh_exp, inh_fc, inh_tq) = match own_inh {
-                    Some(v) => (v[ci].0, v[ci].1, v[ci].2),
-                    None => (LocalExpansion::default(), Vec3::ZERO, Vec3::ZERO),
-                };
-                let m = own_moments[ci].m;
-                let phi = s.phi + inh_exp.phi;
-                let g = -(s.dphi + inh_exp.dphi);
-                let inherited_force = -inh_exp.dphi * m + inh_fc;
-                out[ci] = CellGravity {
-                    phi,
-                    g,
-                    force_density: (s.force + inherited_force) / vol,
-                    torque_density: (s.torque + inh_tq) / vol,
-                };
+            cells.insert(
+                key,
+                assemble_leaf(vol, &same[&key], inherited.get(&key), &moments[&key]),
+            );
+        }
+        // Recycle the expansion buffers.
+        for (_, buf) in same {
+            self.scratch.put_expansions(buf);
+        }
+        GravityField {
+            cells,
+            interactions,
+            kernel_launches,
+            kernel_launches_cpu: kernel_launches,
+            kernel_launches_gpu: 0,
+        }
+    }
+
+    /// Futurized steps 2–3 + assembly: one task per node per pass with
+    /// `when_all` barriers between levels of the downward pass. Results
+    /// are merged by key, so scheduling order never affects the output.
+    pub fn solve_with_moments_parallel(
+        self: &Arc<Self>,
+        tree: &Arc<Octree>,
+        moments: &Arc<MomentMap>,
+        rt: &Arc<Runtime>,
+    ) -> GravityField {
+        let sched = Arc::clone(rt.scheduler());
+        let domain = tree.domain();
+        let width = self.gather_width();
+        let n_nodes = moments.len();
+        // Pre-warm the pool so steady-state solves never allocate:
+        // grids are bounded by in-flight tasks (workers + the helping
+        // main thread), expansion buffers by one long-lived per node
+        // plus one near-field temporary per in-flight leaf task.
+        let concurrency = sched.n_threads() + 1;
+        self.scratch
+            .ensure(concurrency.min(n_nodes.max(1)), width, n_nodes + concurrency);
+
+        // Same-level pass: one task per node.
+        let mut futs = Vec::with_capacity(n_nodes);
+        for &key in moments.keys() {
+            let solver = Arc::clone(self);
+            let tree = Arc::clone(tree);
+            let moments = Arc::clone(moments);
+            let sched = Arc::clone(&sched);
+            futs.push(rt.async_call(move || {
+                let worker = sched.current_worker();
+                let (out, interactions, gpu, cpu) =
+                    solver.same_level_node(&tree, &moments, key, worker);
+                (key, out, interactions, gpu, cpu)
+            }));
+        }
+        let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::with_capacity(n_nodes);
+        let mut interactions = 0u64;
+        let mut gpu_launches = 0u64;
+        let mut cpu_launches = 0u64;
+        for (key, out, n, g, c) in when_all(&sched, futs).get_help(&sched) {
+            same.insert(key, out);
+            interactions += n;
+            gpu_launches += g;
+            cpu_launches += c;
+        }
+
+        // Downward pass, level by level: one task per refined node.
+        // Each child has exactly one parent, so tasks of one level
+        // write disjoint children — merged by key at the barrier.
+        let same = Arc::new(same);
+        let mut inherited: HashMap<MortonKey, Vec<Inherited>> = HashMap::new();
+        for level in 0..=tree.max_level() {
+            let mut futs = Vec::new();
+            for key in tree.level_keys(level) {
+                if !tree.node(key).expect("node exists").refined {
+                    continue;
+                }
+                let own_inh = inherited.remove(&key);
+                let moments = Arc::clone(moments);
+                let same = Arc::clone(&same);
+                futs.push(rt.async_call(move || {
+                    downward_node(&moments, &same, key, own_inh.as_ref())
+                }));
             }
+            for children in when_all(&sched, futs).get_help(&sched) {
+                for (child_key, v) in children {
+                    inherited.insert(child_key, v);
+                }
+            }
+        }
+
+        // Leaf assembly: one task per leaf.
+        let leaves = tree.leaves();
+        let mut futs = Vec::with_capacity(leaves.len());
+        for key in leaves {
+            let own_inh = inherited.remove(&key);
+            let moments = Arc::clone(moments);
+            let same = Arc::clone(&same);
+            futs.push(rt.async_call(move || {
+                let vol = domain.cell_volume(key.level);
+                (
+                    key,
+                    assemble_leaf(vol, &same[&key], own_inh.as_ref(), &moments[&key]),
+                )
+            }));
+        }
+        let mut cells = HashMap::with_capacity(n_nodes);
+        for (key, out) in when_all(&sched, futs).get_help(&sched) {
             cells.insert(key, out);
         }
-        GravityField { cells, interactions, kernel_launches }
+
+        // Let every task finish dropping its Arc clones, then recycle
+        // the long-lived expansion buffers.
+        rt.wait_quiescent();
+        if let Ok(map) = Arc::try_unwrap(same) {
+            for (_, buf) in map {
+                self.scratch.put_expansions(buf);
+            }
+        }
+
+        // Publish performance counters.
+        let counters = rt.counters();
+        counters
+            .handle("fmm/scratch_hits")
+            .store(self.scratch.hits(), Ordering::Relaxed);
+        counters
+            .handle("fmm/scratch_misses")
+            .store(self.scratch.misses(), Ordering::Relaxed);
+        counters.add("fmm/kernels/gpu", gpu_launches);
+        counters.add("fmm/kernels/cpu", cpu_launches);
+
+        GravityField {
+            cells,
+            interactions,
+            kernel_launches: gpu_launches + cpu_launches,
+            kernel_launches_cpu: cpu_launches,
+            kernel_launches_gpu: gpu_launches,
+        }
     }
 }
 
@@ -576,6 +906,8 @@ mod tests {
         let field = solver.solve(&t);
         assert!(field.interactions > 0);
         assert!(field.kernel_launches > 0);
+        assert_eq!(field.kernel_launches_cpu, field.kernel_launches);
+        assert_eq!(field.kernel_launches_gpu, 0);
         // Every leaf present, all values finite.
         for key in t.leaves() {
             let cg = field.leaf(key).expect("leaf output");
@@ -584,5 +916,45 @@ mod tests {
                 assert!(c.g.norm().is_finite());
             }
         }
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_serial() {
+        let tree = Arc::new(uniform_tree(2, blob_density));
+        let solver = Arc::new(FmmSolver::new(0.5));
+        let serial = solver.solve(&tree);
+        for threads in [1, 4] {
+            let rt = Runtime::new(threads);
+            let par = solver.solve_parallel(&tree, &rt);
+            assert_eq!(par.interactions, serial.interactions);
+            for key in tree.leaves() {
+                let a = serial.leaf(key).unwrap();
+                let b = par.leaf(key).unwrap();
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.phi.to_bits(), y.phi.to_bits());
+                    assert_eq!(x.g.x.to_bits(), y.g.x.to_bits());
+                    assert_eq!(x.force_density.x.to_bits(), y.force_density.x.to_bits());
+                    assert_eq!(x.torque_density.x.to_bits(), y.torque_density.x.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_reuses_scratch_in_steady_state() {
+        let tree = Arc::new(uniform_tree(1, blob_density));
+        let solver = Arc::new(FmmSolver::new(0.5));
+        let rt = Runtime::new(2);
+        solver.solve_parallel(&tree, &rt); // cold: misses allowed
+        let misses_after_first = solver.scratch().misses();
+        solver.solve_parallel(&tree, &rt);
+        solver.solve_parallel(&tree, &rt);
+        assert_eq!(
+            solver.scratch().misses(),
+            misses_after_first,
+            "steady-state solves must not allocate scratch buffers"
+        );
+        assert!(solver.scratch().hits() > 0);
+        assert_eq!(rt.counters().get("fmm/scratch_misses"), misses_after_first);
     }
 }

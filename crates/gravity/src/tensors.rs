@@ -118,7 +118,17 @@ pub struct KernelTensors {
 impl KernelTensors {
     /// Evaluate at separation `d` (must be nonzero).
     pub fn at(d: Vec3) -> KernelTensors {
-        let r2 = d.norm2();
+        Self::at_softened(d, 0.0)
+    }
+
+    /// Evaluate at separation `d` with `soft` added to `r²`. With
+    /// `soft = 0` this is the exact kernel (`x + 0.0` is bit-exact for
+    /// the non-negative `r²`); the branchless SoA kernels pass
+    /// `soft = 1 − w` so masked-out slots (weight `w = 0`, possibly
+    /// coincident centres) still produce finite tensors that are then
+    /// multiplied away by the zero weight.
+    pub fn at_softened(d: Vec3, soft: f64) -> KernelTensors {
+        let r2 = d.norm2() + soft;
         assert!(r2 > 0.0, "kernel tensors undefined at zero separation");
         let u2 = 1.0 / r2;
         let u = u2.sqrt();

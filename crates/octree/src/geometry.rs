@@ -6,16 +6,17 @@
 //! size `edge / (N_SUB · 2^l)`.
 
 use crate::subgrid::N_SUB;
-use serde::{Deserialize, Serialize};
 use util::morton::MortonKey;
 use util::vec3::Vec3;
 
 /// The cubic simulation domain, centred at the origin.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Domain {
     /// Edge length of the cube (code units).
     pub edge: f64,
 }
+
+serde::impl_codec_struct!(Domain { edge });
 
 impl Domain {
     pub fn new(edge: f64) -> Domain {

@@ -178,6 +178,50 @@ pub fn fill_all_halos(tree: &mut Octree, bc: BoundaryCondition) {
     }
 }
 
+/// Fill the ghost layers of every leaf, with the read phase futurized:
+/// one `amt` task per leaf computes its ghost values against the
+/// immutable tree, then a serial write phase applies them in leaf order.
+/// Bit-identical to [`fill_all_halos`] — the reads are pure and the
+/// writes happen in the same deterministic order.
+///
+/// `tree` must be the only outstanding strong reference when the write
+/// phase begins; the function waits for runtime quiescence after the
+/// read barrier to guarantee task-held clones are gone.
+pub fn fill_all_halos_parallel(
+    tree: &mut std::sync::Arc<Octree>,
+    bc: BoundaryCondition,
+    rt: &std::sync::Arc<amt::Runtime>,
+) {
+    use std::sync::Arc;
+    assert!(tree.has_grids(), "halo filling needs grid data");
+    let leaves = tree.leaves();
+    let mut futs = Vec::with_capacity(leaves.len());
+    for &key in &leaves {
+        let tree = Arc::clone(tree);
+        futs.push(rt.async_call(move || ghost_values(&tree, key, bc)));
+    }
+    let sched = Arc::clone(rt.scheduler());
+    // `when_all` yields results in input order = leaf order.
+    let ghosts = amt::when_all(&sched, futs).get_help(&sched);
+    rt.wait_quiescent();
+    let tree = Arc::get_mut(tree).expect("no outstanding tree references after quiescence");
+    for (key, values) in leaves.into_iter().zip(ghosts) {
+        let node = tree.node_mut(key).expect("leaf exists");
+        let grid = node.grid.as_mut().expect("grid");
+        let indexer = grid.indexer();
+        let mut src = values.into_iter();
+        for f in ALL_FIELDS {
+            let field = grid.field_mut(f);
+            for (i, j, k) in indexer.all() {
+                if indexer.is_interior(i, j, k) {
+                    continue;
+                }
+                field[indexer.idx(i, j, k)] = src.next().expect("ghost count mismatch");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +338,32 @@ mod tests {
                     (grid.at(Field::Rho, i, j, k) - 7.0).abs() < 1e-13,
                     "AMR interface ghost at {key:?} broke constancy"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_halo_fill_is_bit_identical_to_serial() {
+        use std::sync::Arc;
+        let profile = |x: f64, y: f64, z: f64| (0.3 * x).sin() + 0.1 * y * z + 2.0;
+        let mut serial = tree_with_profile(profile, 2);
+        fill_all_halos(&mut serial, BoundaryCondition::Outflow);
+        for threads in [1, 4] {
+            let mut par = Arc::new(tree_with_profile(profile, 2));
+            let rt = amt::Runtime::new(threads);
+            fill_all_halos_parallel(&mut par, BoundaryCondition::Outflow, &rt);
+            for key in serial.leaves() {
+                let a = serial.node(key).unwrap().grid.as_ref().unwrap();
+                let b = par.node(key).unwrap().grid.as_ref().unwrap();
+                for f in ALL_FIELDS {
+                    for (i, j, k) in a.indexer().all() {
+                        assert_eq!(
+                            a.at(f, i, j, k).to_bits(),
+                            b.at(f, i, j, k).to_bits(),
+                            "halo mismatch at {key:?} ({i},{j},{k}) with {threads} threads"
+                        );
+                    }
+                }
             }
         }
     }

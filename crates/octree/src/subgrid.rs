@@ -11,7 +11,6 @@
 //! kernels 1.9–2.2× faster than array-of-structs (§4.3); every solver in
 //! this workspace iterates field-major.
 
-use serde::{Deserialize, Serialize};
 use util::indexing::GridIndexer;
 
 /// Interior cells per dimension ("with N = 8 for all runs in this
@@ -24,7 +23,7 @@ pub const N_SUB: usize = 8;
 pub const N_GHOST: usize = 3;
 
 /// The evolved variables of §4.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Field {
     /// Mass density ρ.
@@ -113,15 +112,42 @@ impl Field {
 /// One octree node's worth of evolved variables: `FIELD_COUNT` scalar
 /// fields on an `N_SUB³` interior with `N_GHOST` ghost layers,
 /// struct-of-arrays.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubGrid {
     data: Vec<f64>,
-    #[serde(skip, default = "default_indexer")]
     indexer: GridIndexer,
 }
 
 fn default_indexer() -> GridIndexer {
     GridIndexer::new(N_SUB, N_GHOST)
+}
+
+serde::impl_codec_enum_unit!(Field {
+    Rho, Sx, Sy, Sz, Egas, Tau, Lx, Ly, Lz,
+    AccretorCore, AccretorEnv, DonorCore, DonorEnv, Atmosphere,
+});
+
+// Only the cell data travels; the indexer is geometry every locality
+// can rebuild (the old derive marked it `#[serde(skip)]`).
+impl serde::Serialize for SubGrid {
+    fn serialize(&self, w: &mut serde::Writer) {
+        serde::Serialize::serialize(&self.data, w);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SubGrid {
+    fn deserialize(r: &mut serde::Reader<'de>) -> Result<Self, serde::CodecError> {
+        let data = <Vec<f64> as serde::Deserialize>::deserialize(r)?;
+        let indexer = default_indexer();
+        if data.len() != FIELD_COUNT * indexer.len() {
+            return Err(serde::CodecError::Invalid(format!(
+                "sub-grid payload has {} cells, expected {}",
+                data.len(),
+                FIELD_COUNT * indexer.len()
+            )));
+        }
+        Ok(SubGrid { data, indexer })
+    }
 }
 
 impl Default for SubGrid {

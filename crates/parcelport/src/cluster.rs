@@ -49,18 +49,20 @@ pub trait Transport: Send + Sync {
 /// Callback invoked when a parcel arrives at a locality.
 pub type DeliveryFn = Arc<dyn Fn(Parcel) + Send + Sync>;
 
-#[derive(Serialize, Deserialize)]
 struct CallEnvelope {
     request_id: u64,
     reply_to: u32,
     body: Vec<u8>,
 }
 
-#[derive(Serialize, Deserialize)]
+serde::impl_codec_struct!(CallEnvelope { request_id, reply_to, body });
+
 struct ResponseEnvelope {
     request_id: u64,
     body: Vec<u8>,
 }
+
+serde::impl_codec_struct!(ResponseEnvelope { request_id, body });
 
 /// One simulated compute node: an AMT runtime plus its action registry
 /// and pending remote calls.

@@ -119,7 +119,6 @@ impl Transport for LibfabricTransport {
         let mut progressed = false;
         for _ in 0..64 {
             let Ok(completion) = loc.cq_rx.try_recv() else { break };
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             progressed = true;
             self.counters.increment("parcels/received");
             // Zero-copy: hand the pinned bytes straight to the parcel.
@@ -133,6 +132,11 @@ impl Transport for LibfabricTransport {
                 .clone()
                 .expect("delivery callback not installed");
             delivery(parcel);
+            // Decrement only after delivery has handed the parcel to the
+            // destination runtime: a quiescence check must never observe
+            // both this counter and the scheduler's at zero while the
+            // parcel sits in a poller's hands.
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
         progressed
     }

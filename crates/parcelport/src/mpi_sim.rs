@@ -145,7 +145,6 @@ impl Transport for MpiTransport {
             // Release the lock while handling the message so handlers can
             // send (possibly back into this very inbox).
             drop(inbox);
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             progressed = true;
             match msg {
                 WireMsg::Eager { header, data } => {
@@ -200,6 +199,12 @@ impl Transport for MpiTransport {
                     );
                 }
             }
+            // Decrement only after the message is fully handled (parcel
+            // delivered to the runtime, or the follow-up wire message
+            // pushed — which incremented the counter first), so a
+            // quiescence check never sees a transient zero while this
+            // thread still holds undelivered work.
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             inbox = match loc.inbox.try_lock() {
                 Some(g) => g,
                 None => return progressed,

@@ -23,10 +23,8 @@
 //!   are busy with compute (low node counts) this steals a small slice of
 //!   CPU, which is why Fig. 3 dips slightly below 1.0 there.
 
-use serde::{Deserialize, Serialize};
-
 /// Which backend a parameter set (or live transport) models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransportKind {
     /// Two-sided MPI (Isend/Irecv) parcelport.
     Mpi,
@@ -43,8 +41,10 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+serde::impl_codec_enum_unit!(TransportKind { Mpi, Libfabric });
+
 /// Cost model for one transport on one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetParams {
     pub kind: TransportKind,
     /// One-way small-message latency, microseconds.
@@ -76,6 +76,20 @@ pub struct NetParams {
     /// workers communicate at once.
     pub progress_contention: f64,
 }
+
+serde::impl_codec_struct!(NetParams {
+    kind,
+    latency_us,
+    bandwidth_gb_s,
+    per_msg_recv_cpu_us,
+    per_msg_send_cpu_us,
+    payload_copies,
+    copy_bandwidth_gb_s,
+    rendezvous_threshold,
+    rendezvous_trips,
+    polling_tax,
+    progress_contention,
+});
 
 impl NetParams {
     /// The two-sided Cray-MPICH model for Piz Daint's Aries network.

@@ -1,586 +1,38 @@
-//! A compact binary serde codec for parcel payloads.
+//! A compact binary codec for parcel payloads.
 //!
 //! "The HPX parcel format is more complex than a simple MPI message, but
 //! the overheads of packing data can be kept to a minimum" (§5.2). This
 //! module is the packing layer: a non-self-describing little-endian
-//! binary format over the full serde data model, written from scratch so
-//! the workspace needs no external codec crate. Fixed-width primitives,
-//! `u64` length prefixes for sequences/strings/maps, `u32` variant
-//! indices for enums.
+//! binary format — fixed-width primitives, `u64` length prefixes for
+//! sequences/strings/maps, `u32` variant indices for enums, `u8` option
+//! tags. The encoder/decoder live in the workspace's offline `serde`
+//! stand-in ([`serde::Writer`]/[`serde::Reader`]); this module binds
+//! them to [`bytes::Bytes`] payload handles and re-exports the error
+//! type so transport code has a single import point.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{de, ser, Deserialize, Serialize};
-use std::fmt;
-
-/// Errors produced by the codec.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// Ran out of input while deserializing.
-    Eof,
-    /// Input contained an invalid encoding (bad bool/char/utf8/...).
-    Invalid(String),
-    /// Error message bubbled up from a Serialize/Deserialize impl.
-    Custom(String),
-    /// The type requires lengths known up front (serde `serialize_seq`
-    /// with `None` length is not supported by this compact format).
-    UnknownLength,
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CodecError::Eof => write!(f, "unexpected end of input"),
-            CodecError::Invalid(m) => write!(f, "invalid encoding: {m}"),
-            CodecError::Custom(m) => write!(f, "{m}"),
-            CodecError::UnknownLength => write!(f, "sequence length must be known up front"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-impl ser::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Custom(msg.to_string())
-    }
-}
-
-impl de::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Custom(msg.to_string())
-    }
-}
+use bytes::Bytes;
+pub use serde::CodecError;
+use serde::{Deserialize, Reader, Serialize, Writer};
 
 /// Serialize `value` into a freshly allocated byte buffer.
-pub fn to_bytes<T: Serialize>(value: &T) -> Result<Bytes, CodecError> {
-    let mut ser = BinSerializer { out: BytesMut::with_capacity(64) };
-    value.serialize(&mut ser)?;
-    Ok(ser.out.freeze())
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Bytes, CodecError> {
+    let mut w = Writer::with_capacity(64);
+    value.serialize(&mut w);
+    Ok(Bytes::from(w.into_vec()))
 }
 
 /// Deserialize a `T` from `bytes` (must consume a valid prefix).
 pub fn from_bytes<T: for<'de> Deserialize<'de>>(bytes: &Bytes) -> Result<T, CodecError> {
-    let mut de = BinDeserializer { input: bytes.clone() };
-    T::deserialize(&mut de)
-}
-
-// ---------------------------------------------------------------- encoder
-
-struct BinSerializer {
-    out: BytesMut,
-}
-
-impl BinSerializer {
-    fn put_len(&mut self, len: usize) {
-        self.out.put_u64_le(len as u64);
-    }
-}
-
-impl<'a> ser::Serializer for &'a mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
-        self.out.put_u8(v as u8);
-        Ok(())
-    }
-    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
-        self.out.put_i8(v);
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
-        self.out.put_i16_le(v);
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
-        self.out.put_i32_le(v);
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
-        self.out.put_i64_le(v);
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
-        self.out.put_u8(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
-        self.out.put_u16_le(v);
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
-        self.out.put_u32_le(v);
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
-        self.out.put_u64_le(v);
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
-        self.out.put_f32_le(v);
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
-        self.out.put_f64_le(v);
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), CodecError> {
-        self.out.put_u32_le(v as u32);
-        Ok(())
-    }
-    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.put_slice(v.as_bytes());
-        Ok(())
-    }
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
-        self.put_len(v.len());
-        self.out.put_slice(v);
-        Ok(())
-    }
-    fn serialize_none(self) -> Result<(), CodecError> {
-        self.out.put_u8(0);
-        Ok(())
-    }
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
-        self.out.put_u8(1);
-        value.serialize(self)
-    }
-    fn serialize_unit(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), CodecError> {
-        self.out.put_u32_le(variant_index);
-        Ok(())
-    }
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(self)
-    }
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        self.out.put_u32_le(variant_index);
-        value.serialize(self)
-    }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or(CodecError::UnknownLength)?;
-        self.put_len(len);
-        Ok(self)
-    }
-    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.out.put_u32_le(variant_index);
-        Ok(self)
-    }
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or(CodecError::UnknownLength)?;
-        self.put_len(len);
-        Ok(self)
-    }
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.out.put_u32_le(variant_index);
-        Ok(self)
-    }
-}
-
-macro_rules! impl_seq_like {
-    ($trait:ident, $method:ident) => {
-        impl<'a> ser::$trait for &'a mut BinSerializer {
-            type Ok = ();
-            type Error = CodecError;
-            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-                value.serialize(&mut **self)
-            }
-            fn end(self) -> Result<(), CodecError> {
-                Ok(())
-            }
-        }
-    };
-}
-
-impl_seq_like!(SerializeSeq, serialize_element);
-impl_seq_like!(SerializeTuple, serialize_element);
-impl_seq_like!(SerializeTupleStruct, serialize_field);
-impl_seq_like!(SerializeTupleVariant, serialize_field);
-
-impl<'a> ser::SerializeMap for &'a mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl<'a> ser::SerializeStruct for &'a mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl<'a> ser::SerializeStructVariant for &'a mut BinSerializer {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------- decoder
-
-struct BinDeserializer {
-    input: Bytes,
-}
-
-impl BinDeserializer {
-    fn need(&self, n: usize) -> Result<(), CodecError> {
-        if self.input.remaining() < n {
-            Err(CodecError::Eof)
-        } else {
-            Ok(())
-        }
-    }
-
-    fn take_len(&mut self) -> Result<usize, CodecError> {
-        self.need(8)?;
-        let len = self.input.get_u64_le();
-        // Sanity bound: a length longer than the remaining input is corrupt.
-        if len as usize > self.input.remaining() {
-            return Err(CodecError::Invalid(format!(
-                "length prefix {len} exceeds remaining {} bytes",
-                self.input.remaining()
-            )));
-        }
-        Ok(len as usize)
-    }
-}
-
-macro_rules! de_prim {
-    ($fn:ident, $visit:ident, $get:ident, $n:expr) => {
-        fn $fn<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-            self.need($n)?;
-            visitor.$visit(self.input.$get())
-        }
-    };
-}
-
-impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer {
-    type Error = CodecError;
-
-    fn deserialize_any<V: de::Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Invalid(
-            "format is not self-describing; deserialize_any unsupported".into(),
-        ))
-    }
-
-    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.need(1)?;
-        match self.input.get_u8() {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            b => Err(CodecError::Invalid(format!("bad bool byte {b}"))),
-        }
-    }
-
-    de_prim!(deserialize_i8, visit_i8, get_i8, 1);
-    de_prim!(deserialize_i16, visit_i16, get_i16_le, 2);
-    de_prim!(deserialize_i32, visit_i32, get_i32_le, 4);
-    de_prim!(deserialize_i64, visit_i64, get_i64_le, 8);
-    de_prim!(deserialize_u8, visit_u8, get_u8, 1);
-    de_prim!(deserialize_u16, visit_u16, get_u16_le, 2);
-    de_prim!(deserialize_u32, visit_u32, get_u32_le, 4);
-    de_prim!(deserialize_u64, visit_u64, get_u64_le, 8);
-    de_prim!(deserialize_f32, visit_f32, get_f32_le, 4);
-    de_prim!(deserialize_f64, visit_f64, get_f64_le, 8);
-
-    fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.need(4)?;
-        let cp = self.input.get_u32_le();
-        let c = char::from_u32(cp).ok_or_else(|| CodecError::Invalid(format!("bad char {cp}")))?;
-        visitor.visit_char(c)
-    }
-
-    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.take_len()?;
-        let raw = self.input.split_to(len);
-        let s = std::str::from_utf8(&raw).map_err(|e| CodecError::Invalid(e.to_string()))?;
-        visitor.visit_str(s)
-    }
-
-    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.take_len()?;
-        let raw = self.input.split_to(len);
-        visitor.visit_bytes(&raw)
-    }
-
-    fn deserialize_byte_buf<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.take_len()?;
-        let raw = self.input.split_to(len);
-        visitor.visit_byte_buf(raw.to_vec())
-    }
-
-    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.need(1)?;
-        match self.input.get_u8() {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            b => Err(CodecError::Invalid(format!("bad option tag {b}"))),
-        }
-    }
-
-    fn deserialize_unit<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: de::Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.take_len()?;
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
-    }
-
-    fn deserialize_tuple<V: de::Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
-    }
-
-    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.take_len()?;
-        visitor.visit_map(CountedAccess { de: self, remaining: len })
-    }
-
-    fn deserialize_struct<V: de::Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: fields.len() })
-    }
-
-    fn deserialize_enum<V: de::Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-
-    fn deserialize_identifier<V: de::Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        Err(CodecError::Invalid("identifiers are not encoded".into()))
-    }
-
-    fn deserialize_ignored_any<V: de::Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        Err(CodecError::Invalid(
-            "format is not self-describing; cannot skip unknown fields".into(),
-        ))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct CountedAccess<'a> {
-    de: &'a mut BinDeserializer,
-    remaining: usize,
-}
-
-impl<'de, 'a> de::SeqAccess<'de> for CountedAccess<'a> {
-    type Error = CodecError;
-    fn next_element_seed<T: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-impl<'de, 'a> de::MapAccess<'de> for CountedAccess<'a> {
-    type Error = CodecError;
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn next_value_seed<V: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: V,
-    ) -> Result<V::Value, CodecError> {
-        seed.deserialize(&mut *self.de)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-struct EnumAccess<'a> {
-    de: &'a mut BinDeserializer,
-}
-
-impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a> {
-    type Error = CodecError;
-    type Variant = VariantAccess<'a>;
-    fn variant_seed<V: de::DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, VariantAccess<'a>), CodecError> {
-        self.de.need(4)?;
-        let idx = self.de.input.get_u32_le();
-        let val = seed.deserialize(de::value::U32Deserializer::<CodecError>::new(idx))?;
-        Ok((val, VariantAccess { de: self.de }))
-    }
-}
-
-struct VariantAccess<'a> {
-    de: &'a mut BinDeserializer,
-}
-
-impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a> {
-    type Error = CodecError;
-    fn unit_variant(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
-        self,
-        seed: T,
-    ) -> Result<T::Value, CodecError> {
-        seed.deserialize(self.de)
-    }
-    fn tuple_variant<V: de::Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess { de: self.de, remaining: len })
-    }
-    fn struct_variant<V: de::Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess { de: self.de, remaining: fields.len() })
-    }
+    let mut r = Reader::new(bytes.as_ref());
+    T::deserialize(&mut r)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::{BufMut, BytesMut};
     use proptest::prelude::*;
-    use serde::{Deserialize, Serialize};
+    use serde::{CodecError, Deserialize, Reader, Serialize, Writer};
     use std::collections::BTreeMap;
 
     fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(v: &T) {
@@ -589,7 +41,7 @@ mod tests {
         assert_eq!(&back, v);
     }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[derive(PartialEq, Debug)]
     struct Halo {
         id: u64,
         face: u8,
@@ -598,12 +50,51 @@ mod tests {
         tag: Option<i32>,
     }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    serde::impl_codec_struct!(Halo { id, face, values, label, tag });
+
+    #[derive(PartialEq, Debug)]
     enum Msg {
         Ping,
         Data(Halo),
         Pair(u32, u32),
         Named { a: bool, b: char },
+    }
+
+    // Data-carrying enums write their codec by hand: `u32` variant
+    // index, then the payload fields in order (the same externally
+    // indexed layout the original serde-derived codec produced).
+    impl Serialize for Msg {
+        fn serialize(&self, w: &mut Writer) {
+            match self {
+                Msg::Ping => w.put_u32_le(0),
+                Msg::Data(h) => {
+                    w.put_u32_le(1);
+                    h.serialize(w);
+                }
+                Msg::Pair(x, y) => {
+                    w.put_u32_le(2);
+                    x.serialize(w);
+                    y.serialize(w);
+                }
+                Msg::Named { a, b } => {
+                    w.put_u32_le(3);
+                    a.serialize(w);
+                    b.serialize(w);
+                }
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Msg {
+        fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+            match r.get_u32_le()? {
+                0 => Ok(Msg::Ping),
+                1 => Ok(Msg::Data(Halo::deserialize(r)?)),
+                2 => Ok(Msg::Pair(u32::deserialize(r)?, u32::deserialize(r)?)),
+                3 => Ok(Msg::Named { a: bool::deserialize(r)?, b: char::deserialize(r)? }),
+                v => Err(CodecError::Invalid(format!("bad Msg variant {v}"))),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# FMM performance snapshot: kernel microbenchmarks (quick mode) plus the
+# measured solver throughput / launch-split / scratch numbers, written
+# to BENCH_fmm.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmm_kernels microbenchmarks (quick) =="
+cargo bench -p bench --bench fmm_kernels -- --quick
+
+echo
+echo "== solver throughput snapshot =="
+cargo run --release -p bench --bin fmm_snapshot -- "${1:-3}"

@@ -1,0 +1,389 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable
+//! storage (`Arc<Vec<u8>>` or `&'static [u8]`). Clones and slices share
+//! the underlying buffer, so `as_ptr()` identity is preserved — the
+//! libfabric parcelport simulation relies on this for its zero-copy
+//! assertions. `BytesMut` is a growable build buffer that freezes into
+//! `Bytes` without copying. The `Buf`/`BufMut` traits expose the
+//! little-endian accessors the binary codec uses.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+/// A cheaply cloneable contiguous slice of immutable bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty byte view (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]), start: 0, end: 0 }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(data), start: 0, end: data.len() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Shared(v) => v.as_slice(),
+            Repr::Static(s) => s,
+        }
+    }
+
+    /// A sub-view sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
+        Bytes { repr: self.repr.clone(), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past
+    /// them. Both halves share the original storage.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to({n}) out of bounds of {}", self.len());
+        let head = Bytes { repr: self.repr.clone(), start: self.start, end: self.start + n };
+        self.start += n;
+        head
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.backing()[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_ref())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+/// A growable buffer of bytes that can be frozen into [`Bytes`].
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub const fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable `Bytes` without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+macro_rules! get_le {
+    ($($fn:ident -> $ty:ty),* $(,)?) => {
+        $(
+            fn $fn(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read access to a byte cursor (little-endian accessors only; this is
+/// the subset the parcel codec uses).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    get_le! {
+        get_u16_le -> u16,
+        get_i16_le -> i16,
+        get_u32_le -> u32,
+        get_i32_le -> i32,
+        get_u64_le -> u64,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance({n}) out of bounds of {}", self.len());
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! put_le {
+    ($($fn:ident($ty:ty)),* $(,)?) => {
+        $(
+            fn $fn(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Append access to a byte buffer (little-endian writers only).
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    put_le! {
+        put_u16_le(u16),
+        put_i16_le(i16),
+        put_u32_le(u32),
+        put_i32_le(i32),
+        put_u64_le(u64),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        let s = b.slice(1..3);
+        assert_eq!(s.as_ref(), &[2, 3]);
+        assert_eq!(s.as_ptr(), unsafe { b.as_ptr().add(1) });
+    }
+
+    #[test]
+    fn from_vec_preserves_heap_pointer() {
+        let v = vec![9u8; 64];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), p);
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4, 5]);
+        assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    fn buf_readers_are_little_endian() {
+        let mut m = BytesMut::new();
+        m.put_u32_le(0xDEAD_BEEF);
+        m.put_f64_le(-2.5);
+        m.put_u8(7);
+        assert_eq!(m.len(), 4 + 8 + 1);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_f64_le(), -2.5);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"hello");
+        let p = m.as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ptr(), p);
+        assert_eq!(b.as_ref(), b"hello");
+    }
+
+    #[test]
+    fn static_bytes_no_alloc() {
+        static DATA: [u8; 3] = [7, 8, 9];
+        let b = Bytes::from_static(&DATA);
+        assert_eq!(b.as_ptr(), DATA.as_ptr());
+        assert_eq!(b.len(), 3);
+    }
+}

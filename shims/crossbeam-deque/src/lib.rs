@@ -1,0 +1,239 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Implements the `Worker`/`Stealer`/`Injector`/`Steal` API the
+//! scheduler uses, backed by `Mutex<VecDeque>` instead of the lock-free
+//! Chase–Lev deque. Semantics match where it matters:
+//!
+//! * `Worker::new_lifo` pops the most recently pushed task (cache-hot),
+//! * `Stealer::steal` takes from the opposite end (oldest task),
+//! * `Injector` is a FIFO; `steal_batch_and_pop` moves a batch into the
+//!   destination worker and returns one task.
+//!
+//! `Steal::Retry` is never produced (a mutex never loses a race), but
+//! the variant exists so match arms compile unchanged.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The queue was observed empty.
+    Empty,
+    /// The operation lost a race and should be retried (never produced
+    /// by this mutex-backed implementation).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+type Queue<T> = Arc<Mutex<VecDeque<T>>>;
+
+fn locked<T>(q: &Queue<T>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker-owned deque. Pushes and pops happen at the back (LIFO);
+/// stealers take from the front.
+pub struct Worker<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Worker<T> {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    pub fn new_fifo() -> Worker<T> {
+        // The shim stores both flavours identically; `pop` order differs
+        // only for LIFO, which is all the workspace uses.
+        Worker::new_lifo()
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// Handle for stealing from another worker's deque.
+pub struct Stealer<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+/// Global FIFO injector queue.
+pub struct Injector<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Injector<T> {
+        Injector { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move up to half the queue (at least one task) into `dest`, then
+    /// pop one task for the caller.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Batch: up to half of what remains, capped like crossbeam's
+        // MAX_BATCH to keep steals fair under contention.
+        let batch = (q.len() / 2).min(32);
+        if batch > 0 {
+            let mut dq = locked(&dest.queue);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_and_pop() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(t) => assert_eq!(t, 0),
+            other => panic!("expected success, got {other:?}"),
+        }
+        // A batch landed in the destination worker.
+        assert!(!w.is_empty());
+        let total_left = w.len() + inj.len();
+        assert_eq!(total_left, 9);
+    }
+
+    #[test]
+    fn empty_injector_steals_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.steal().is_empty());
+        let w = Worker::new_lifo();
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let handles: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut n = 0;
+                    while let Steal::Success(_) = s.steal() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let stolen: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        assert_eq!(stolen + local, 1000);
+    }
+}

@@ -1,0 +1,656 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reproduces the API surface this workspace's property tests use —
+//! `proptest! { fn name(x in strategy) {...} }`, `prop_assert!`,
+//! range/collection/array/tuple strategies, `any::<T>()`, and
+//! `ProptestConfig::with_cases` — over a deterministic splitmix64
+//! generator seeded from the test's module path, so failures reproduce
+//! exactly across runs. Shrinking is not implemented: a failing case
+//! reports its inputs via the assertion message instead.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------- runner
+
+/// Deterministic test RNG (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test identifier and case index: stable across runs
+    /// and platforms.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Why a test case failed. (The real crate distinguishes rejections
+/// from failures; this stand-in has no rejection machinery.)
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real default (256) makes some of the heavier grid
+        // properties slow in debug builds; 32 keeps `cargo test -q`
+        // snappy while still exercising varied inputs.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges of primitives are strategies, e.g. `0.1f64..10.0`, `0u8..8`.
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+// Tuples of strategies sample componentwise.
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+/// String patterns: `&str` is a strategy producing matching strings.
+/// Supported forms are the ones used in this workspace — `".*"`
+/// (arbitrary short strings, unicode included) and a single character
+/// class with a repeat count, `"[a-z]{m,n}"`. Anything else falls back
+/// to short alphanumeric strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some((chars, lo, hi)) = parse_class_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        } else {
+            // ".*" or unrecognized: arbitrary strings, biased short,
+            // with occasional non-ASCII to exercise UTF-8 paths.
+            let len = rng.below(24) as usize;
+            (0..len)
+                .map(|_| match rng.below(8) {
+                    0 => char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('ß'),
+                    1 => '\u{1F600}',
+                    _ => (b' ' + rng.below(95) as u8) as char,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Parse `[a-z...]{m,n}` / `[abc]{n}` into (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = {
+        let body: Vec<char> = rest[..close].chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (a, b) = (body[i] as u32, body[i + 2] as u32);
+                for cp in a..=b {
+                    out.push(char::from_u32(cp)?);
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    if class.is_empty() {
+        return None;
+    }
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((class, lo, hi))
+}
+
+// ------------------------------------------------------------- arbitrary
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for a primitive.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for AnyPrim<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = AnyPrim<$ty>;
+                fn arbitrary() -> AnyPrim<$ty> {
+                    AnyPrim(PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrim<char>;
+    fn arbitrary() -> AnyPrim<char> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        num::f64::ANY.sample(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> AnyPrim<f64> {
+        AnyPrim(PhantomData)
+    }
+}
+
+/// `any::<Option<T>>()`: `None` one time in four.
+pub struct AnyOption<S>(S);
+
+impl<S: Strategy> Strategy for AnyOption<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    type Strategy = AnyOption<T::Strategy>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOption(T::arbitrary())
+    }
+}
+
+// ------------------------------------------------------------ collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Sizes for collection strategies: a fixed count or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[T; N]`, each element drawn independently.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            let items: Vec<S::Value> = (0..N).map(|_| self.element.sample(rng)).collect();
+            match items.try_into() {
+                Ok(arr) => arr,
+                Err(_) => unreachable!("sampled exactly N elements"),
+            }
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($fn:ident => $n:literal),* $(,)?) => {
+            $(
+                pub fn $fn<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )*
+        };
+    }
+
+    uniform_fn! {
+        uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform8 => 8,
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over the full `f64` bit space: finite values of all
+        /// magnitudes plus NaN, infinities, signed zero and subnormals.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                match rng.below(8) {
+                    // Raw bit patterns cover NaN payloads, infinities
+                    // and subnormals.
+                    0 | 1 => f64::from_bits(rng.next_u64()),
+                    2 => 0.0,
+                    3 => -0.0,
+                    4 => (rng.unit_f64() - 0.5) * 2e-300,
+                    _ => (rng.unit_f64() - 0.5) * 2e9,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(__test_name, __case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        ::std::panic!(
+                            "property '{}' failed at case {}/{}:\n{}",
+                            __test_name, __case, __cfg.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the condition (or
+/// a formatted message) without panicking mid-sample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{} (left: `{:?}`, right: `{:?}`)",
+                ::std::format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left != right` (both `{:?}`)",
+                __l
+            )));
+        }
+    }};
+}
+
+pub mod strategy {
+    pub use crate::{Just, Map, Strategy};
+}
+
+pub mod test_runner {
+    pub use crate::{ProptestConfig as Config, TestCaseError, TestRng};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&v));
+            let n = crate::Strategy::sample(&(3u8..7), &mut rng);
+            assert!((3..7).contains(&n));
+            let i = crate::Strategy::sample(&(-5i32..-2), &mut rng);
+            assert!((-5..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = crate::TestRng::for_case("det", 3);
+        let mut b = crate::TestRng::for_case("det", 3);
+        let s = crate::collection::vec(0.0f64..1.0, 2..9);
+        assert_eq!(crate::Strategy::sample(&s, &mut a), crate::Strategy::sample(&s, &mut b));
+    }
+
+    #[test]
+    fn char_class_patterns_match() {
+        let mut rng = crate::TestRng::for_case("class", 1);
+        for _ in 0..200 {
+            let s = crate::Strategy::sample(&"[a-z]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_samples_and_asserts(x in 1u32..100, v in crate::collection::vec(0.0f64..1.0, 4),
+                                         q in crate::array::uniform5(-1.0f64..1.0)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(q.iter().all(|a| a.abs() <= 1.0), "bad array {q:?}");
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair <= 6);
+        }
+    }
+}

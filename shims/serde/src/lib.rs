@@ -1,0 +1,673 @@
+//! Offline stand-in for `serde`, specialized to this workspace's only
+//! codec: the compact little-endian binary parcel format.
+//!
+//! The real serde couples a generic data model (`Serializer`/`Visitor`)
+//! with a proc-macro derive; neither is available offline. What the
+//! workspace actually needs is narrower: every `#[derive(Serialize,
+//! Deserialize)]` site feeds exactly one binary codec
+//! (`parcelport::serialize`). So this crate collapses the data model to
+//! that codec:
+//!
+//! * [`Writer`]/[`Reader`] implement the wire format directly
+//!   (fixed-width little-endian primitives, `u64` length prefixes,
+//!   `u32` enum variant indices, `u8` option tags),
+//! * [`Serialize`]/[`Deserialize`] are concrete traits over them —
+//!   `Deserialize` keeps its `'de` lifetime parameter so existing
+//!   `for<'de> Deserialize<'de>` bounds compile unchanged,
+//! * [`impl_codec_struct!`]/[`impl_codec_enum_unit!`] replace the
+//!   derive for plain structs and unit-only enums (data-carrying enums
+//!   write manual impls, which the derive sites needing them do).
+//!
+//! The wire format is bit-for-bit the one the original
+//! `parcelport::serialize` module produced, so all its format tests
+//! (compactness, NaN bit-exactness, truncation behaviour) still hold.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// Errors produced by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of input while deserializing.
+    Eof,
+    /// Input contained an invalid encoding (bad bool/char/utf8/...).
+    Invalid(String),
+    /// Error message bubbled up from a Serialize/Deserialize impl.
+    Custom(String),
+    /// The type requires lengths known up front.
+    UnknownLength,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::Invalid(m) => write!(f, "invalid encoding: {m}"),
+            CodecError::Custom(m) => write!(f, "{m}"),
+            CodecError::UnknownLength => write!(f, "sequence length must be known up front"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------- writer
+
+/// Append-only encoder for the binary parcel format.
+#[derive(Default, Debug)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+macro_rules! writer_put {
+    ($($fn:ident($ty:ty)),* $(,)?) => {
+        $(
+            #[inline]
+            pub fn $fn(&mut self, v: $ty) {
+                self.out.extend_from_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer { out: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer { out: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    #[inline]
+    pub fn put_i8(&mut self, v: i8) {
+        self.out.push(v as u8);
+    }
+
+    writer_put! {
+        put_u16_le(u16), put_i16_le(i16),
+        put_u32_le(u32), put_i32_le(i32),
+        put_u64_le(u64), put_i64_le(i64),
+        put_f32_le(f32), put_f64_le(f64),
+    }
+
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.out.extend_from_slice(s);
+    }
+
+    /// A sequence/string/map length prefix (`u64` little-endian).
+    #[inline]
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u64_le(len as u64);
+    }
+
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+/// Cursor-style decoder over a byte slice.
+pub struct Reader<'de> {
+    buf: &'de [u8],
+}
+
+macro_rules! reader_get {
+    ($($fn:ident -> $ty:ty),* $(,)?) => {
+        $(
+            #[inline]
+            pub fn $fn(&mut self) -> Result<$ty, CodecError> {
+                const N: usize = std::mem::size_of::<$ty>();
+                let raw = self.take(N)?;
+                let mut arr = [0u8; N];
+                arr.copy_from_slice(raw);
+                Ok(<$ty>::from_le_bytes(arr))
+            }
+        )*
+    };
+}
+
+impl<'de> Reader<'de> {
+    pub fn new(buf: &'de [u8]) -> Reader<'de> {
+        Reader { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consume the next `n` bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Eof);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    #[inline]
+    pub fn get_i8(&mut self) -> Result<i8, CodecError> {
+        Ok(self.get_u8()? as i8)
+    }
+
+    reader_get! {
+        get_u16_le -> u16, get_i16_le -> i16,
+        get_u32_le -> u32, get_i32_le -> i32,
+        get_u64_le -> u64, get_i64_le -> i64,
+        get_f32_le -> f32, get_f64_le -> f64,
+    }
+
+    /// Read a length prefix and sanity-check it against the remaining
+    /// input (a length longer than what's left is corrupt, not EOF).
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u64_le()?;
+        if len as usize > self.buf.len() {
+            return Err(CodecError::Invalid(format!(
+                "length prefix {len} exceeds remaining {} bytes",
+                self.buf.len()
+            )));
+        }
+        Ok(len as usize)
+    }
+}
+
+// ---------------------------------------------------------------- traits
+
+/// Types encodable into the binary parcel format.
+pub trait Serialize {
+    fn serialize(&self, w: &mut Writer);
+}
+
+/// Types decodable from the binary parcel format. The `'de` lifetime is
+/// the input buffer's; owned types (everything in this workspace) are
+/// `for<'de> Deserialize<'de>`, which is what [`de::DeserializeOwned`]
+/// captures.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError>;
+}
+
+pub mod de {
+    /// Marker for types deserializable from a buffer of any lifetime.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! codec_prim {
+    ($($ty:ty => $put:ident / $get:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                #[inline]
+                fn serialize(&self, w: &mut Writer) {
+                    w.$put(*self);
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                #[inline]
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+                    r.$get()
+                }
+            }
+        )*
+    };
+}
+
+codec_prim! {
+    u8 => put_u8 / get_u8,
+    i8 => put_i8 / get_i8,
+    u16 => put_u16_le / get_u16_le,
+    i16 => put_i16_le / get_i16_le,
+    u32 => put_u32_le / get_u32_le,
+    i32 => put_i32_le / get_i32_le,
+    u64 => put_u64_le / get_u64_le,
+    i64 => put_i64_le / get_i64_le,
+    f32 => put_f32_le / get_f32_le,
+    f64 => put_f64_le / get_f64_le,
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::Invalid(format!("bad bool byte {b}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u32_le(*self as u32);
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let cp = r.get_u32_le()?;
+        char::from_u32(cp).ok_or_else(|| CodecError::Invalid(format!("bad char {cp}")))
+    }
+}
+
+// `usize`/`isize` travel as fixed 64-bit, matching serde's own impls.
+impl Serialize for usize {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u64_le(*self as u64);
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let v = r.get_u64_le()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid(format!("usize overflow: {v}")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_i64_le(*self as i64);
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let v = r.get_i64_le()?;
+        isize::try_from(v).map_err(|_| CodecError::Invalid(format!("isize overflow: {v}")))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, _w: &mut Writer) {}
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(_r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------- std containers
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        w.put_slice(self.as_bytes());
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut Writer) {
+        self.as_str().serialize(w);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let len = r.get_len()?;
+        let raw = r.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|e| CodecError::Invalid(e.to_string()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut Writer) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let len = r.get_len()?;
+        // get_len bounds len by remaining bytes, so a hostile prefix
+        // can't force an absurd reservation (each element is ≥ 1 byte
+        // except (), which no one nests in a Vec here).
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            b => Err(CodecError::Invalid(format!("bad option tag {b}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.serialize(w);
+            v.serialize(w);
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let len = r.get_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for (k, v) in self {
+            k.serialize(w);
+            v.serialize(w);
+        }
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let len = r.get_len()?;
+        let mut out = HashMap::with_capacity_and_hasher(len, S::default());
+        for _ in 0..len {
+            let k = K::deserialize(r)?;
+            let v = V::deserialize(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+// Arrays encode as fixed-arity tuples: no length prefix (serde does the
+// same, and the compactness tests depend on it for nested arrays).
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut Writer) {
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::deserialize(r)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| CodecError::Invalid("array arity mismatch".into()))
+    }
+}
+
+macro_rules! codec_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize(&self, w: &mut Writer) {
+                    $( self.$idx.serialize(w); )+
+                }
+            }
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+                    Ok(($($name::deserialize(r)?,)+))
+                }
+            }
+        )*
+    };
+}
+
+codec_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut Writer) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, w: &mut Writer) {
+        (**self).serialize(w);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(r: &mut Reader<'de>) -> Result<Self, CodecError> {
+        Ok(Box::new(T::deserialize(r)?))
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Implement `Serialize`/`Deserialize` for a plain struct by listing its
+/// fields in declaration order — the stand-in for `#[derive(Serialize,
+/// Deserialize)]`.
+#[macro_export]
+macro_rules! impl_codec_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize(&self, w: &mut $crate::Writer) {
+                $( $crate::Serialize::serialize(&self.$field, w); )*
+            }
+        }
+        impl<'de> $crate::Deserialize<'de> for $ty {
+            fn deserialize(
+                r: &mut $crate::Reader<'de>,
+            ) -> ::std::result::Result<Self, $crate::CodecError> {
+                ::std::result::Result::Ok($ty {
+                    $( $field: $crate::Deserialize::deserialize(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implement `Serialize`/`Deserialize` for a unit-only `Copy` enum:
+/// the variant's declaration position travels as a `u32` index, exactly
+/// like serde's externally-indexed enum encoding in this format.
+#[macro_export]
+macro_rules! impl_codec_enum_unit {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize(&self, w: &mut $crate::Writer) {
+                w.put_u32_le(*self as u32);
+            }
+        }
+        impl<'de> $crate::Deserialize<'de> for $ty {
+            fn deserialize(
+                r: &mut $crate::Reader<'de>,
+            ) -> ::std::result::Result<Self, $crate::CodecError> {
+                const VARIANTS: &[$ty] = &[$($ty::$variant),*];
+                let idx = r.get_u32_le()? as usize;
+                VARIANTS.get(idx).copied().ok_or_else(|| {
+                    $crate::CodecError::Invalid(::std::format!(
+                        "bad variant index {idx} for {}",
+                        ::std::stringify!($ty)
+                    ))
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T>(v: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let mut w = Writer::new();
+        v.serialize(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = T::deserialize(&mut r).expect("deserialize");
+        assert_eq!(r.remaining(), 0, "trailing bytes after decode");
+        back
+    }
+
+    #[test]
+    fn primitive_layout_is_fixed_le() {
+        let mut w = Writer::new();
+        0x0102_0304u32.serialize(&mut w);
+        assert_eq!(w.into_vec(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn vec_f64_is_len_prefixed_and_compact() {
+        let v = vec![0.0f64; 16];
+        let mut w = Writer::new();
+        v.serialize(&mut w);
+        assert_eq!(w.len(), 8 + 16 * 8);
+    }
+
+    #[test]
+    fn nested_arrays_have_no_prefix() {
+        let a = [[1.0f64; 3]; 3];
+        let mut w = Writer::new();
+        a.serialize(&mut w);
+        assert_eq!(w.len(), 9 * 8);
+        assert_eq!(roundtrip(&a), a);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        assert_eq!(roundtrip(&Some(vec![1u32, 2, 3])), Some(vec![1, 2, 3]));
+        assert_eq!(roundtrip(&Option::<u32>::None), None);
+        assert_eq!(roundtrip(&"höllo".to_string()), "höllo");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(roundtrip(&m), m);
+        let t = (1u8, -2i16, (3u32, 4.5f64));
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn hashmap_roundtrips() {
+        let mut m = HashMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(7, "y".to_string());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_not_panicking() {
+        let mut r = Reader::new(&[7]);
+        assert!(matches!(bool::deserialize(&mut r), Err(CodecError::Invalid(_))));
+        let mut r = Reader::new(&[]);
+        assert!(matches!(u64::deserialize(&mut r), Err(CodecError::Eof)));
+        // Absurd length prefix: Invalid, not an allocation attempt.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(Vec::<u8>::deserialize(&mut r), Err(CodecError::Invalid(_))));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct P {
+        a: u64,
+        b: Option<f64>,
+        c: Vec<u8>,
+    }
+    impl_codec_struct!(P { a, b, c });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Color {
+        R,
+        G,
+        B,
+    }
+    impl_codec_enum_unit!(Color { R, G, B });
+
+    #[test]
+    fn macro_struct_and_enum_roundtrip() {
+        let p = P { a: 9, b: Some(-1.5), c: vec![1, 2] };
+        assert_eq!(roundtrip(&p), p);
+        assert_eq!(roundtrip(&Color::G), Color::G);
+        // Enum index is a u32 of the declaration position.
+        let mut w = Writer::new();
+        Color::B.serialize(&mut w);
+        assert_eq!(w.into_vec(), vec![2, 0, 0, 0]);
+        // Out-of-range index is Invalid.
+        let mut r = Reader::new(&[9, 0, 0, 0]);
+        assert!(matches!(Color::deserialize(&mut r), Err(CodecError::Invalid(_))));
+    }
+}

@@ -10,7 +10,6 @@ use parcelport::netmodel::TransportKind;
 use parcelport::parcel::{ActionId, Parcel};
 use parcelport::serialize::{from_bytes, to_bytes};
 use parking_lot_stub::Mutex;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Tiny shim: std Mutex under the name used below (the integration
@@ -28,12 +27,13 @@ mod parking_lot_stub {
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct HaloMsg {
     field: usize,
     dir: (i32, i32, i32),
     values: Vec<f64>,
 }
+
+serde::impl_codec_struct!(HaloMsg { field, dir, values });
 
 fn exchange_over(kind: TransportKind) {
     // Locality 0 owns grid A, locality 1 owns grid B (B at +x of A).
