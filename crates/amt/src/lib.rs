@@ -34,12 +34,14 @@ pub mod agas;
 pub mod channel;
 pub mod counters;
 pub mod future;
+pub mod metrics;
 pub mod scheduler;
 
 pub use agas::{Agas, GlobalId};
 pub use channel::Channel;
 pub use counters::CounterRegistry;
 pub use future::{make_ready_future, when_all, Future, Promise};
+pub use metrics::{Counter, Metrics};
 pub use scheduler::Scheduler;
 
 use std::sync::Arc;
@@ -52,6 +54,7 @@ pub struct Runtime {
     sched: Arc<Scheduler>,
     agas: Agas,
     counters: Arc<CounterRegistry>,
+    metrics: Metrics,
     locality: u32,
 }
 
@@ -67,6 +70,7 @@ impl Runtime {
         Arc::new(Runtime {
             sched: Scheduler::new(n_threads, Arc::clone(&counters)),
             agas: Agas::new(locality),
+            metrics: Metrics::over(Arc::clone(&counters)),
             counters,
             locality,
         })
@@ -90,6 +94,13 @@ impl Runtime {
     /// The performance counter registry.
     pub fn counters(&self) -> &Arc<CounterRegistry> {
         &self.counters
+    }
+
+    /// The namespaced metrics facade over this locality's counters.
+    /// `metrics().counter("fmm/x")` and `counters().get("fmm/x")`
+    /// observe the same atomic; the facade adds mounts and snapshots.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Spawn a fire-and-forget task.

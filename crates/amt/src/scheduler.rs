@@ -76,6 +76,12 @@ impl Scheduler {
     pub fn new(n_threads: usize, counters: Arc<CounterRegistry>) -> Arc<Scheduler> {
         let n_threads = n_threads.max(1);
         let sched_id = NEXT_SCHED_ID.fetch_add(1, Ordering::Relaxed);
+        // Pre-register the scheduler's counters so they appear (as 0)
+        // in snapshots taken before any task runs — consumers mounting
+        // this registry under a namespace rely on the names existing.
+        for name in ["tasks/spawned", "tasks/executed", "tasks/stolen", "workers/parks"] {
+            counters.handle(name);
+        }
         let deques: Vec<WorkerDeque<Task>> = (0..n_threads).map(|_| WorkerDeque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let shared = Arc::new(Shared {

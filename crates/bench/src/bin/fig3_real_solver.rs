@@ -1,0 +1,230 @@
+//! Real-driver transport comparison → the `"real_driver"` section of
+//! `BENCH_fmm.json`.
+//!
+//! Fig. 3 of the paper compares libfabric against MPI on the *real*
+//! application, not a microbenchmark. This bin does the equivalent at
+//! laptop scale: it runs the distributed TVD-RK2 driver (halo pushes,
+//! FMM moment broadcast, dt reduce, step barrier — all as parcels) over
+//! a 2-locality cluster on each transport and reports
+//!
+//! * measured processed sub-grids per second per transport (and the
+//!   libfabric : MPI ratio — the paper's headline metric),
+//! * the wire traffic actually generated (bytes / parcels from the
+//!   `parcelport/<kind>/...` metrics namespace), and
+//! * the *modeled* communication time of that traffic under the
+//!   Aries-calibrated [`NetParams`] cost model, since on a single host
+//!   both simulated transports move bytes at memcpy speed and the
+//!   measured ratio reflects CPU-side protocol overhead only.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig3_real_solver [steps]
+//! ```
+
+use hydro::eos::IdealGas;
+use octotiger::{Config, DistributedDriver, Scenario};
+use octree::geometry::Domain;
+use octree::subgrid::Field;
+use octree::tree::Octree;
+use parcelport::cluster::Cluster;
+use parcelport::netmodel::TransportKind;
+use scf::lane_emden::Polytrope;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use util::vec3::Vec3;
+
+/// The determinism suite's self-gravitating AMR scenario: a corner
+/// octant refined to level 2 (15 leaves) with an off-centre polytrope,
+/// so every step moves real halo + multipole traffic across shards.
+fn star_amr() -> Scenario {
+    let eos = IdealGas::monatomic();
+    let star = Polytrope::new(1.0, 1.0, 1.5);
+    let mut tree = Octree::new(Domain::new(8.0));
+    tree.refine_where(2, |d, k| {
+        let o = d.node_origin(k);
+        k.level == 0 || (o.x < 0.0 && o.y < 0.0 && o.z < 0.0)
+    });
+    let domain = tree.domain();
+    let center = Vec3::new(-1.0, -1.0, -1.0);
+    for key in tree.leaves() {
+        let node = tree.node_mut(key).expect("leaf");
+        let grid = node.grid.as_mut().expect("grid");
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            let r = (c - center).norm();
+            let rho = star.rho(r).max(1e-10);
+            let e = star.e_int(r).max(rho * 1e-4);
+            grid.set(Field::Rho, i, j, k, rho);
+            grid.set(Field::Egas, i, j, k, e);
+            grid.set(Field::Tau, i, j, k, eos.tau_from_e(e));
+        }
+    }
+    tree.restrict_all();
+    Scenario {
+        name: "star_amr",
+        tree,
+        config: Config { eos, ..Config::self_gravitating() },
+        binary: None,
+    }
+}
+
+struct TransportRun {
+    subgrids_per_sec: f64,
+    parcels_tx: u64,
+    bytes_tx: u64,
+    modeled_comm_ms: f64,
+}
+
+fn run_transport(kind: TransportKind, steps: usize) -> TransportRun {
+    let cluster = Arc::new(
+        Cluster::builder().localities(2).threads_per(2).transport(kind).build(),
+    );
+    let mut driver =
+        DistributedDriver::new(star_amr(), cluster).expect("distributed driver");
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        driver.step().expect("distributed step");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let snap = driver.cluster().metrics().snapshot();
+    let key = |suffix: &str| format!("parcelport/{}/{suffix}", kind.as_str());
+    let parcels = snap.get(&key("parcels_tx")).copied().unwrap_or(0);
+    let bytes = snap.get(&key("bytes_tx")).copied().unwrap_or(0);
+    // Modeled wire time of the traffic under the Aries cost model: the
+    // in-process transports move bytes at memcpy speed, so the modeled
+    // number is what separates the transports at real-network scale.
+    // Approximation: every parcel is charged the transfer time of the
+    // mean parcel size (halo interiors dominate and are near-uniform).
+    let net = driver.cluster().net_params();
+    let mean = if parcels > 0 { (bytes / parcels) as usize } else { 0 };
+    let modeled_comm_ms = net.transfer_time_us(mean) * parcels as f64 / 1e3;
+    TransportRun {
+        subgrids_per_sec: driver.subgrids_processed as f64 / wall,
+        parcels_tx: parcels,
+        bytes_tx: bytes,
+        modeled_comm_ms,
+    }
+}
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("real-driver transport comparison (star_amr, 2 localities, {steps} step(s))");
+    println!("host CPUs: {host_cpus}");
+    println!("{}", "-".repeat(72));
+
+    let mpi = run_transport(TransportKind::Mpi, steps);
+    let lf = run_transport(TransportKind::Libfabric, steps);
+    for (name, r) in [("mpi", &mpi), ("libfabric", &lf)] {
+        println!(
+            "{name:<12} {:>10.2} sub-grids/s   {:>6} parcels  {:>10} bytes  {:>8.3} ms modeled",
+            r.subgrids_per_sec, r.parcels_tx, r.bytes_tx, r.modeled_comm_ms
+        );
+    }
+    let measured_ratio = lf.subgrids_per_sec / mpi.subgrids_per_sec;
+    let modeled_comm_ratio = mpi.modeled_comm_ms / lf.modeled_comm_ms.max(1e-12);
+    println!("{}", "-".repeat(72));
+    println!("libfabric : MPI measured throughput ratio  {measured_ratio:.3}");
+    println!("MPI : libfabric modeled comm-time ratio    {modeled_comm_ratio:.3}");
+
+    // Merge into BENCH_fmm.json (written by fmm_snapshot). Hand-rolled
+    // JSON; the offline workspace has no serde_json.
+    let mut section = String::new();
+    section.push_str("  \"real_driver\": {\n");
+    let _ = writeln!(section, "    \"scenario\": \"star_amr\",");
+    let _ = writeln!(section, "    \"localities\": 2,");
+    let _ = writeln!(section, "    \"steps\": {steps},");
+    let _ = writeln!(section, "    \"host_cpus\": {host_cpus},");
+    for (name, r) in [("mpi", &mpi), ("libfabric", &lf)] {
+        let _ = writeln!(section, "    \"{name}\": {{");
+        let _ = writeln!(
+            section,
+            "      \"subgrids_per_sec\": {:.2},",
+            r.subgrids_per_sec
+        );
+        let _ = writeln!(section, "      \"parcels_tx\": {},", r.parcels_tx);
+        let _ = writeln!(section, "      \"bytes_tx\": {},", r.bytes_tx);
+        let _ = writeln!(
+            section,
+            "      \"modeled_comm_ms\": {:.4}",
+            r.modeled_comm_ms
+        );
+        let _ = writeln!(section, "    }},");
+    }
+    let _ = writeln!(section, "    \"measured_ratio\": {measured_ratio:.4},");
+    let _ = writeln!(
+        section,
+        "    \"modeled_comm_ratio\": {modeled_comm_ratio:.4}"
+    );
+    section.push_str("  }");
+
+    let path = "BENCH_fmm.json";
+    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let body = remove_key(&body, "\"real_driver\"");
+    let close = body.rfind('}').expect("BENCH_fmm.json has no closing brace");
+    // Whether anything precedes us inside the object decides the comma.
+    let has_fields = body[..close].trim_end().trim_end_matches('\n').ends_with(['}', '"'])
+        || body[..close].contains(':');
+    let mut out = String::with_capacity(body.len() + section.len() + 4);
+    out.push_str(body[..close].trim_end());
+    if has_fields {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(&section);
+    out.push_str("\n}\n");
+    std::fs::write(path, &out).expect("write BENCH_fmm.json");
+    println!("merged \"real_driver\" into {path}");
+}
+
+/// Drop `key` (and its value, object or scalar) from a flat-ish JSON
+/// object body, comma included. Brace-counting, not a parser — good
+/// enough for the JSON this workspace hand-writes.
+fn remove_key(body: &str, key: &str) -> String {
+    let Some(start) = body.find(key) else {
+        return body.to_string();
+    };
+    let after_key = &body[start..];
+    let colon = after_key.find(':').expect("key without value");
+    let value = after_key[colon + 1..].trim_start();
+    let value_off = start + colon + 1 + (after_key[colon + 1..].len() - value.len());
+    let end = if value.starts_with('{') {
+        let mut depth = 0usize;
+        let mut end = value_off;
+        for (i, c) in body[value_off..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = value_off + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end
+    } else {
+        value_off
+            + body[value_off..]
+                .find([',', '\n', '}'])
+                .unwrap_or(body.len() - value_off)
+    };
+    // Swallow the comma that attached this entry (before or after).
+    let mut head = body[..start].trim_end().to_string();
+    let mut tail = body[end..].trim_start();
+    if tail.starts_with(',') {
+        tail = tail[1..].trim_start();
+    } else if head.ends_with(',') {
+        head.pop();
+    }
+    format!("{head}\n{tail}")
+}

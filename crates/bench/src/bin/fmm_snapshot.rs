@@ -69,6 +69,7 @@ fn main() {
     // Parallel at 1, 2, 4 workers (reusing the same pooled solver).
     let reference = solver.solve(&tree);
     let mut thread_rates = Vec::new();
+    let mut cpu_rt = None;
     for threads in [1usize, 2, 4] {
         let rt = Runtime::new(threads);
         let par_s = time_per_run(iters, || {
@@ -83,7 +84,9 @@ fn main() {
             rate / serial_rate
         );
         thread_rates.push((threads, rate));
+        cpu_rt = Some(rt);
     }
+    let cpu_rt = cpu_rt.expect("thread loop ran");
 
     // Launch split through the simulated GPU (P100, 4 streams over 4
     // workers, CPU fallback when the worker's streams are busy).
@@ -94,17 +97,23 @@ fn main() {
     ));
     let rt = Runtime::new(4);
     let routed = gpu_solver.solve_parallel(&tree, &rt);
+    assert_eq!(routed.interactions, reference.interactions);
     let stats = gpu_solver.gpu().unwrap().stats();
+    // The solver publishes its counters into the runtime's metrics
+    // registry; bench bins read them back through `snapshot()` rather
+    // than poking solver internals.
+    let gpu_snap = rt.metrics().snapshot();
+    let launches_gpu = gpu_snap.get("fmm/kernels/gpu").copied().unwrap_or(0);
+    let launches_cpu = gpu_snap.get("fmm/kernels/cpu").copied().unwrap_or(0);
     println!("{}", "-".repeat(64));
     println!(
-        "launch split (1 solve): {} GPU / {} CPU  ({:.1}% on GPU)",
-        routed.kernel_launches_gpu,
-        routed.kernel_launches_cpu,
+        "launch split (1 solve): {launches_gpu} GPU / {launches_cpu} CPU  ({:.1}% on GPU)",
         100.0 * stats.gpu_fraction()
     );
 
-    let hits = solver.scratch().hits();
-    let misses = solver.scratch().misses();
+    let cpu_snap = cpu_rt.metrics().snapshot();
+    let hits = cpu_snap.get("fmm/scratch_hits").copied().unwrap_or(0);
+    let misses = cpu_snap.get("fmm/scratch_misses").copied().unwrap_or(0);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     println!(
         "scratch pool: {hits} hits / {misses} misses  ({:.1}% hit rate)",
@@ -132,16 +141,8 @@ fn main() {
         .map(|(_, r)| r / serial_rate)
         .unwrap_or(0.0);
     let _ = writeln!(json, "  \"speedup_4_threads\": {speedup4:.3},");
-    let _ = writeln!(
-        json,
-        "  \"kernel_launches_gpu\": {},",
-        routed.kernel_launches_gpu
-    );
-    let _ = writeln!(
-        json,
-        "  \"kernel_launches_cpu\": {},",
-        routed.kernel_launches_cpu
-    );
+    let _ = writeln!(json, "  \"kernel_launches_gpu\": {launches_gpu},");
+    let _ = writeln!(json, "  \"kernel_launches_cpu\": {launches_cpu},");
     let _ = writeln!(
         json,
         "  \"gpu_launch_fraction\": {:.4},",

@@ -1,0 +1,654 @@
+//! Distributed time-stepping over the parcelport cluster.
+//!
+//! Octo-Tiger distributes the octree's sub-grids across localities
+//! along the space filling curve and exchanges halo data, FMM boundary
+//! multipoles, and the global CFL reduction as HPX parcels (paper §4.2,
+//! §5.2). [`DistributedDriver`] reproduces that structure over the
+//! simulated [`Cluster`]: each locality owns a contiguous SFC chunk of
+//! leaves ([`ShardMap`]), runs the futurized TVD-RK2 stage on its own
+//! shard, and talks to the other shards only through typed parcels over
+//! the configured transport (MPI-sim or libfabric-sim):
+//!
+//! * [`HALO_ACTION`] — a [`GridMsg`] carrying one leaf's interior cells
+//!   (the halo *push*: sources ship interiors, receivers re-run the
+//!   ghost fill locally),
+//! * [`MOMENT_ACTION`] — a [`MomentMsg`] carrying one leaf's P2M
+//!   multipole moments (the FMM boundary exchange: every locality
+//!   rebuilds the full moment tree from the broadcast leaf moments and
+//!   solves only its own targets),
+//! * the per-step dt min-reduce and the end-of-step quiescence barrier
+//!   ride the [`parcelport::collectives`] machinery.
+//!
+//! **Bit-identity.** The distributed solve is bit-identical to
+//! [`crate::driver::Simulation`] at any locality count over either
+//! transport, by construction:
+//!
+//! 1. every mirror starts as an exact clone of the scenario tree;
+//! 2. both drivers run the *same* per-leaf kernels
+//!    (`driver::leaf_signal_dt` / `driver::leaf_rhs` /
+//!    `driver::apply_stage1` / `driver::apply_stage2`) on identical
+//!    inputs;
+//! 3. the wire codec round-trips `f64` bit patterns exactly, received
+//!    messages are merged by key (never by arrival order), and every
+//!    fold is ordered along the SFC — the min-reduce is exact because
+//!    `f64::min` over positive finite per-shard minima of contiguous
+//!    chunks equals the global ordered fold;
+//! 4. the restricted FMM walk visits a target's whole ancestor chain,
+//!    so per-shard fields equal the full solve's per leaf (test-proven
+//!    in `gravity::solver`).
+//!
+//! One driver owns its cluster's action space ([`HALO_ACTION`],
+//! [`MOMENT_ACTION`], and the collectives' reduce action): build a
+//! fresh cluster per driver.
+
+use crate::config::Config;
+use crate::driver::{apply_stage1, apply_stage2, leaf_rhs, leaf_signal_dt};
+use crate::scenario::Scenario;
+use amt::{when_all, Counter, GlobalId};
+use gravity::multipole::Multipole;
+use gravity::solver::{leaf_moments, moments_from_leaf_moments, FmmSolver, GravityField};
+use hydro::flux::StateVec;
+use hydro::rotating::RotatingFrame;
+use hydro::step::HydroStepper;
+use octree::halo::{fill_halos_for_leaves, BoundaryCondition};
+use octree::shard::ShardMap;
+use octree::subgrid::SubGrid;
+use octree::tree::Octree;
+use parcelport::cluster::Cluster;
+use parcelport::collectives::{self, Collectives};
+use parcelport::parcel::{ActionId, Parcel};
+use parcelport::serialize::{from_bytes, to_bytes};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use util::morton::MortonKey;
+use util::{Error, Result};
+
+/// Action carrying one leaf's interior cells to a neighbor shard.
+pub const HALO_ACTION: ActionId = ActionId(0xD05);
+/// Action broadcasting one leaf's P2M moments to every other shard.
+pub const MOMENT_ACTION: ActionId = ActionId(0xD06);
+
+/// One leaf's interior cells on the wire (the halo push). `values` is
+/// the `SubGrid::extract_interior` layout: all 14 fields, interior
+/// iteration order, `f64` bit patterns preserved by the codec.
+struct GridMsg {
+    from: u32,
+    key: MortonKey,
+    values: Vec<f64>,
+}
+
+serde::impl_codec_struct!(GridMsg { from, key, values });
+
+/// One leaf's per-cell multipole moments on the wire (the FMM boundary
+/// exchange).
+struct MomentMsg {
+    from: u32,
+    key: MortonKey,
+    cells: Vec<Multipole>,
+}
+
+serde::impl_codec_struct!(MomentMsg { from, key, cells });
+
+type Inbox<T> = Arc<Vec<Mutex<Vec<T>>>>;
+
+/// The distributed TVD-RK2 driver: one octree shard per locality,
+/// exchanged over the cluster's transport.
+pub struct DistributedDriver {
+    cluster: Arc<Cluster>,
+    coll: Arc<Collectives>,
+    shard: ShardMap,
+    /// `push_plan[src][dst]` = leaves `src` ships to `dst` per exchange.
+    push_plan: Vec<BTreeMap<u32, Vec<MortonKey>>>,
+    /// Per-locality full-tree mirrors; only a mirror's *owned* leaves
+    /// are authoritative, the rest hold the interiors last pushed to it.
+    mirrors: Vec<Arc<Octree>>,
+    halo_inbox: Inbox<GridMsg>,
+    moment_inbox: Inbox<MomentMsg>,
+    /// AGAS ids of the per-shard owner components (resident on their
+    /// locality, recorded as remote everywhere else).
+    shard_ids: Vec<GlobalId>,
+    expected_halo_inbound: Vec<usize>,
+    expected_moment_inbound: Vec<usize>,
+    pub config: Config,
+    stepper: HydroStepper,
+    solver: Option<Arc<FmmSolver>>,
+    frame: RotatingFrame,
+    /// Simulated time (code units).
+    pub time: f64,
+    /// Steps taken.
+    pub steps: u64,
+    /// Sub-grids processed (leaves × steps) — the paper's throughput
+    /// metric.
+    pub subgrids_processed: u64,
+    /// Fresh ids for collectives (reductions and barriers).
+    seq: u64,
+    halo_bytes: Counter,
+    halo_parcels: Counter,
+    moment_bytes: Counter,
+    moment_parcels: Counter,
+}
+
+impl DistributedDriver {
+    /// Partition `scenario`'s tree over `cluster` and wire the exchange
+    /// actions. Registers [`HALO_ACTION`], [`MOMENT_ACTION`], and the
+    /// collectives on every locality — one driver per cluster.
+    pub fn new(scenario: Scenario, cluster: Arc<Cluster>) -> Result<DistributedDriver> {
+        scenario.config.validate();
+        let config = scenario.config;
+        let tree = scenario.tree;
+        let n = cluster.len();
+        let shard = ShardMap::partition(&tree, n)?;
+        let push_plan = shard.halo_push_plan(&tree);
+        let total = shard.n_leaves();
+
+        let mut expected_halo_inbound = vec![0usize; n];
+        for by_dst in &push_plan {
+            for (&dst, keys) in by_dst {
+                expected_halo_inbound[dst as usize] += keys.len();
+            }
+        }
+        let expected_moment_inbound: Vec<usize> = (0..n)
+            .map(|loc| total - shard.owned(loc as u32).len())
+            .collect();
+
+        let mirrors: Vec<Arc<Octree>> = (0..n).map(|_| Arc::new(tree.clone())).collect();
+
+        // AGAS: register each shard's owner component on its locality
+        // and record it as remote on every other, so parcels address a
+        // resolvable global id rather than a raw rank.
+        let mut shard_ids = Vec::with_capacity(n);
+        for loc in 0..n {
+            let owned: Vec<MortonKey> = shard.owned(loc as u32).to_vec();
+            let id = cluster.locality(loc).runtime().agas().register(Arc::new(owned));
+            shard_ids.push(id);
+        }
+        for loc in 0..n {
+            for (owner, &id) in shard_ids.iter().enumerate() {
+                if owner != loc {
+                    cluster.locality(loc).runtime().agas().record_remote(id, owner as u32);
+                }
+            }
+        }
+
+        // Inbox pattern: handlers only stash decoded messages; the host
+        // applies them post-quiescence, so no handler ever touches a
+        // mirror and `Arc::get_mut` never races a task.
+        let halo_inbox: Inbox<GridMsg> =
+            Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
+        let moment_inbox: Inbox<MomentMsg> =
+            Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
+        {
+            let inbox = Arc::clone(&halo_inbox);
+            cluster.register_action(HALO_ACTION, move |rt, id, payload| {
+                debug_assert!(rt.agas().is_local(id), "halo parcel landed off-shard");
+                let msg: GridMsg = from_bytes(&payload).expect("halo message corrupt");
+                inbox[rt.locality() as usize].lock().expect("halo inbox").push(msg);
+            });
+        }
+        {
+            let inbox = Arc::clone(&moment_inbox);
+            cluster.register_action(MOMENT_ACTION, move |rt, id, payload| {
+                debug_assert!(rt.agas().is_local(id), "moment parcel landed off-shard");
+                let msg: MomentMsg = from_bytes(&payload).expect("moment message corrupt");
+                inbox[rt.locality() as usize].lock().expect("moment inbox").push(msg);
+            });
+        }
+        let coll = Collectives::register(&cluster);
+
+        let m = cluster.metrics();
+        Ok(DistributedDriver {
+            halo_bytes: m.counter("driver/halo/bytes_tx"),
+            halo_parcels: m.counter("driver/halo/parcels_tx"),
+            moment_bytes: m.counter("driver/moments/bytes_tx"),
+            moment_parcels: m.counter("driver/moments/parcels_tx"),
+            cluster,
+            coll,
+            shard,
+            push_plan,
+            mirrors,
+            halo_inbox,
+            moment_inbox,
+            shard_ids,
+            expected_halo_inbound,
+            expected_moment_inbound,
+            config,
+            stepper: HydroStepper::new(config.eos),
+            solver: config.gravity.then(|| Arc::new(FmmSolver::new(config.theta))),
+            frame: RotatingFrame::new(config.omega),
+            time: 0.0,
+            steps: 0,
+            subgrids_processed: 0,
+            seq: 0,
+        })
+    }
+
+    /// The cluster this driver runs over.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The leaf → locality assignment.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Ghost fill of every shard's owned leaves on its own mirror (the
+    /// cross-shard interiors those fills sample were pushed by the last
+    /// interior exchange; at t = 0 the mirrors are exact clones).
+    fn fill_owned_halos(&mut self, bc: BoundaryCondition) {
+        for loc in 0..self.cluster.len() {
+            fill_halos_for_leaves(
+                &mut self.mirrors[loc],
+                self.shard.owned(loc as u32),
+                bc,
+                self.cluster.locality(loc).runtime(),
+            );
+        }
+    }
+
+    /// Futurized per-shard CFL minimum: one task per owned leaf on the
+    /// shard's runtime, ordered fold over the SFC-ordered results.
+    fn local_min_dt(&self, loc: usize) -> f64 {
+        let rt = self.cluster.locality(loc).runtime();
+        let mut futs = Vec::new();
+        for &key in self.shard.owned(loc as u32) {
+            let tree = Arc::clone(&self.mirrors[loc]);
+            let stepper = self.stepper;
+            let cfl = self.config.cfl;
+            futs.push(rt.async_call(move || leaf_signal_dt(&tree, key, stepper, cfl)));
+        }
+        let sched = Arc::clone(rt.scheduler());
+        let dts = when_all(&sched, futs).get_help(&sched);
+        rt.wait_quiescent();
+        dts.into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// FMM boundary exchange + restricted solve. Every locality P2Ms
+    /// its owned leaves, broadcasts them as [`MomentMsg`] parcels,
+    /// rebuilds the complete moment tree (merge by key), and runs the
+    /// restricted FMM walk over its own targets only.
+    fn exchange_and_solve_gravity(&mut self) -> Result<Vec<Option<Arc<GravityField>>>> {
+        let n = self.cluster.len();
+        let Some(solver) = self.solver.clone() else {
+            return Ok(vec![None; n]);
+        };
+        // P2M on owned leaves.
+        let mut own: Vec<HashMap<MortonKey, Arc<Vec<Multipole>>>> = Vec::with_capacity(n);
+        for loc in 0..n {
+            let tree = &self.mirrors[loc];
+            let mut m = HashMap::new();
+            for &key in self.shard.owned(loc as u32) {
+                m.insert(key, Arc::new(leaf_moments(tree, key)));
+            }
+            own.push(m);
+        }
+        // Broadcast each shard's leaf moments to every other locality.
+        for src in 0..n {
+            for &key in self.shard.owned(src as u32) {
+                let msg = MomentMsg {
+                    from: src as u32,
+                    key,
+                    cells: own[src][&key].as_ref().clone(),
+                };
+                let payload = to_bytes(&msg)?;
+                for dst in 0..n {
+                    if dst == src {
+                        continue;
+                    }
+                    let parcel = Parcel {
+                        dest_locality: dst as u32,
+                        dest_component: self.shard_ids[dst],
+                        action: MOMENT_ACTION,
+                        payload: payload.clone(),
+                    };
+                    self.moment_parcels.increment();
+                    self.moment_bytes.add(parcel.wire_size() as u64);
+                    self.cluster.locality(src).try_send(parcel)?;
+                }
+            }
+        }
+        self.cluster.wait_quiescent();
+        // Rebuild the full moment tree per locality and solve the shard.
+        let mut fields = Vec::with_capacity(n);
+        for (loc, mut leaf_map) in own.into_iter().enumerate() {
+            let msgs: Vec<MomentMsg> = {
+                let mut inbox = self.moment_inbox[loc].lock().expect("moment inbox");
+                std::mem::take(&mut *inbox)
+            };
+            if msgs.len() != self.expected_moment_inbound[loc] {
+                return Err(Error::Driver(format!(
+                    "locality {loc} received {} moment messages, expected {}",
+                    msgs.len(),
+                    self.expected_moment_inbound[loc]
+                )));
+            }
+            for msg in msgs {
+                leaf_map.insert(msg.key, Arc::new(msg.cells));
+            }
+            if leaf_map.len() != self.shard.n_leaves() {
+                return Err(Error::Driver(format!(
+                    "locality {loc} assembled {} leaf moments, expected {}",
+                    leaf_map.len(),
+                    self.shard.n_leaves()
+                )));
+            }
+            let moments = Arc::new(moments_from_leaf_moments(&self.mirrors[loc], leaf_map));
+            let field = solver.solve_restricted_parallel(
+                &self.mirrors[loc],
+                &moments,
+                self.shard.owned(loc as u32),
+                self.cluster.locality(loc).runtime(),
+            );
+            fields.push(Some(Arc::new(field)));
+        }
+        Ok(fields)
+    }
+
+    /// Futurized RHS of every shard's owned leaves: tasks are launched
+    /// on *all* localities first, then collected, so shards overlap.
+    fn compute_rhs(
+        &self,
+        grav: &[Option<Arc<GravityField>>],
+    ) -> Vec<HashMap<MortonKey, Vec<StateVec>>> {
+        let n = self.cluster.len();
+        let mut pending = Vec::with_capacity(n);
+        for loc in 0..n {
+            let rt = self.cluster.locality(loc).runtime();
+            let mut futs = Vec::new();
+            for &key in self.shard.owned(loc as u32) {
+                let tree = Arc::clone(&self.mirrors[loc]);
+                let g = grav[loc].clone();
+                let stepper = self.stepper;
+                let frame = self.frame;
+                futs.push(rt.async_call(move || {
+                    (key, leaf_rhs(&tree, key, g.as_deref(), stepper, frame))
+                }));
+            }
+            pending.push(futs);
+        }
+        let mut out = Vec::with_capacity(n);
+        for (loc, futs) in pending.into_iter().enumerate() {
+            let rt = self.cluster.locality(loc).runtime();
+            let sched = Arc::clone(rt.scheduler());
+            let map: HashMap<MortonKey, Vec<StateVec>> =
+                when_all(&sched, futs).get_help(&sched).into_iter().collect();
+            // Tasks still hold mirror Arcs until fully retired; drain
+            // them so the apply phase's Arc::get_mut cannot race.
+            rt.wait_quiescent();
+            out.push(map);
+        }
+        out
+    }
+
+    /// Push every cross-shard halo source's interior per the static
+    /// plan, then apply inbound interiors sorted by key.
+    fn exchange_interiors(&mut self) -> Result<()> {
+        let n = self.cluster.len();
+        for src in 0..n {
+            for dst in 0..n as u32 {
+                let Some(keys) = self.push_plan[src].get(&dst) else { continue };
+                for &key in keys {
+                    let grid = self.mirrors[src]
+                        .node(key)
+                        .expect("planned leaf")
+                        .grid
+                        .as_ref()
+                        .expect("grid");
+                    let msg =
+                        GridMsg { from: src as u32, key, values: grid.extract_interior() };
+                    let payload = to_bytes(&msg)?;
+                    let parcel = Parcel {
+                        dest_locality: dst,
+                        dest_component: self.shard_ids[dst as usize],
+                        action: HALO_ACTION,
+                        payload,
+                    };
+                    self.halo_parcels.increment();
+                    self.halo_bytes.add(parcel.wire_size() as u64);
+                    self.cluster.locality(src).try_send(parcel)?;
+                }
+            }
+        }
+        self.cluster.wait_quiescent();
+        for loc in 0..n {
+            let mut msgs: Vec<GridMsg> = {
+                let mut inbox = self.halo_inbox[loc].lock().expect("halo inbox");
+                std::mem::take(&mut *inbox)
+            };
+            if msgs.len() != self.expected_halo_inbound[loc] {
+                return Err(Error::Driver(format!(
+                    "locality {loc} received {} halo messages, expected {}",
+                    msgs.len(),
+                    self.expected_halo_inbound[loc]
+                )));
+            }
+            // Keys are globally unique; sorting makes the write order
+            // deterministic regardless of arrival order.
+            msgs.sort_by_key(|m| m.key);
+            let tree = Arc::get_mut(&mut self.mirrors[loc])
+                .expect("no outstanding mirror references between stages");
+            for msg in msgs {
+                let node = tree
+                    .node_mut(msg.key)
+                    .ok_or_else(|| Error::Driver(format!("{:?} not in mirror {loc}", msg.key)))?;
+                node.grid.as_mut().expect("grid").apply_interior(&msg.values);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_stage1_all(
+        &mut self,
+        rhs: &[HashMap<MortonKey, Vec<StateVec>>],
+        dt: f64,
+        floors: bool,
+    ) -> Vec<HashMap<MortonKey, SubGrid>> {
+        let stepper = self.stepper;
+        let mut olds = Vec::with_capacity(self.cluster.len());
+        for loc in 0..self.cluster.len() {
+            let mut old = HashMap::new();
+            let tree = Arc::get_mut(&mut self.mirrors[loc])
+                .expect("no outstanding mirror references between stages");
+            for &key in self.shard.owned(loc as u32) {
+                let node = tree.node_mut(key).expect("leaf");
+                let grid = node.grid.as_mut().expect("grid");
+                old.insert(key, apply_stage1(stepper, grid, &rhs[loc][&key], dt, floors));
+            }
+            olds.push(old);
+        }
+        olds
+    }
+
+    fn apply_stage2_all(
+        &mut self,
+        old: &[HashMap<MortonKey, SubGrid>],
+        rhs: &[HashMap<MortonKey, Vec<StateVec>>],
+        dt: f64,
+        floors: bool,
+    ) {
+        let stepper = self.stepper;
+        for loc in 0..self.cluster.len() {
+            let tree = Arc::get_mut(&mut self.mirrors[loc])
+                .expect("no outstanding mirror references between stages");
+            for &key in self.shard.owned(loc as u32) {
+                let node = tree.node_mut(key).expect("leaf");
+                let grid = node.grid.as_mut().expect("grid");
+                apply_stage2(stepper, grid, &old[loc][&key], &rhs[loc][&key], dt, floors);
+            }
+        }
+    }
+
+    /// Advance one TVD-RK2 step; returns the dt taken.
+    ///
+    /// Phases: owned ghost fill → distributed CFL min-reduce → moment
+    /// exchange + restricted FMM → stage-1 RHS/apply → interior
+    /// exchange → owned ghost fill → moment exchange + FMM → stage-2
+    /// RHS/apply → interior exchange → quiescence barrier.
+    pub fn step(&mut self) -> Result<f64> {
+        let bc = self.config.bc;
+        let floors = self.config.floors;
+        let n = self.cluster.len();
+
+        self.fill_owned_halos(bc);
+
+        // Distributed CFL: per-shard ordered minima (contiguous SFC
+        // chunks) min-reduced over the wire — bit-equal to the global
+        // ordered fold because f64::min is associative on the positive
+        // finite dts.
+        let local_dts: Vec<f64> = (0..n).map(|loc| self.local_min_dt(loc)).collect();
+        let seq = self.next_seq();
+        let dt =
+            collectives::allreduce_wire(&self.cluster, &self.coll, seq, &local_dts, f64::min);
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(Error::Driver(format!("CFL produced dt = {dt}")));
+        }
+
+        // Stage 1.
+        let grav = self.exchange_and_solve_gravity()?;
+        let rhs1 = self.compute_rhs(&grav);
+        let old = self.apply_stage1_all(&rhs1, dt, floors);
+        self.exchange_interiors()?;
+
+        // Stage 2.
+        self.fill_owned_halos(bc);
+        let grav2 = self.exchange_and_solve_gravity()?;
+        let rhs2 = self.compute_rhs(&grav2);
+        self.apply_stage2_all(&old, &rhs2, dt, floors);
+        self.exchange_interiors()?;
+
+        // Per-step quiescence barrier: every locality checks in and the
+        // fabric drains before the step is declared done. (Mirrors skip
+        // the per-step restrict_all — refined-node grids are derived
+        // data no step phase reads; `assemble` restricts once.)
+        let seq = self.next_seq();
+        collectives::barrier(&self.cluster, &self.coll, seq);
+
+        self.time += dt;
+        self.steps += 1;
+        self.subgrids_processed += self.shard.n_leaves() as u64;
+        Ok(dt)
+    }
+
+    /// Run `n` steps (or until `t_end`); returns the time advanced.
+    pub fn run(&mut self, n: usize, t_end: f64) -> Result<f64> {
+        let t0 = self.time;
+        for _ in 0..n {
+            if self.time >= t_end {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.time - t0)
+    }
+
+    /// Gather the owned leaves of every shard into one global tree
+    /// (grids cloned whole, ghosts included) and restrict upward —
+    /// bitwise comparable to the reference `Simulation`'s tree.
+    pub fn assemble(&self) -> Octree {
+        let mut out = (*self.mirrors[0]).clone();
+        for shard in 0..self.shard.n_shards() {
+            for &key in self.shard.owned(shard as u32) {
+                let grid = self.mirrors[shard]
+                    .node(key)
+                    .expect("leaf")
+                    .grid
+                    .clone()
+                    .expect("grid");
+                out.node_mut(key).expect("leaf").grid = Some(grid);
+            }
+        }
+        out.restrict_all();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Simulation;
+    use octree::subgrid::{Field, ALL_FIELDS};
+    use parcelport::netmodel::TransportKind;
+
+    fn assert_trees_bit_identical(a: &Octree, b: &Octree) {
+        assert_eq!(a.leaves(), b.leaves());
+        for key in a.leaves() {
+            let ga = a.node(key).unwrap().grid.as_ref().unwrap();
+            let gb = b.node(key).unwrap().grid.as_ref().unwrap();
+            for field in ALL_FIELDS {
+                for (i, j, k) in ga.indexer().interior() {
+                    assert_eq!(
+                        ga.at(field, i, j, k).to_bits(),
+                        gb.at(field, i, j, k).to_bits(),
+                        "{key:?} {field:?} ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_localities_match_reference_on_sod() {
+        let mut reference = Simulation::new(Scenario::sod(1));
+        let cluster = Arc::new(
+            Cluster::builder()
+                .localities(2)
+                .threads_per(2)
+                .transport(TransportKind::Mpi)
+                .build(),
+        );
+        let mut dist = DistributedDriver::new(Scenario::sod(1), cluster).unwrap();
+        for _ in 0..2 {
+            let dt_ref = reference.step();
+            let dt = dist.step().unwrap();
+            assert_eq!(dt.to_bits(), dt_ref.to_bits());
+        }
+        assert_trees_bit_identical(&dist.assemble(), reference.tree());
+        assert_eq!(dist.steps, 2);
+        assert!(dist.subgrids_processed > 0);
+        // Cross-shard halo traffic actually went over the wire.
+        let m = dist.cluster().metrics();
+        assert!(m.get("driver/halo/parcels_tx") > 0);
+        assert!(m.get("driver/halo/bytes_tx") > 0);
+        assert!(m.get("parcelport/mpi/parcels_tx") > 0);
+    }
+
+    #[test]
+    fn single_locality_loopback_sends_nothing() {
+        let cluster = Arc::new(Cluster::builder().threads_per(2).build());
+        let mut dist = DistributedDriver::new(Scenario::sod(1), cluster).unwrap();
+        dist.step().unwrap();
+        // One shard owns everything: the push plan is empty and no
+        // parcels cross the fabric beyond the collectives' loopbacks.
+        assert_eq!(dist.cluster().metrics().get("driver/halo/parcels_tx"), 0);
+        let t = crate::diagnostics::totals(&dist.assemble(), None);
+        assert!(t.mass > 0.0);
+    }
+
+    #[test]
+    fn driver_surfaces_dt_errors() {
+        let mut scenario = Scenario::sod(1);
+        // Zero out the state: sound speed 0, dt = inf.
+        for key in scenario.tree.leaves() {
+            let grid = scenario.tree.node_mut(key).unwrap().grid.as_mut().unwrap();
+            for (i, j, k) in grid.indexer().interior() {
+                for f in ALL_FIELDS {
+                    grid.set(f, i, j, k, 0.0);
+                }
+                grid.set(Field::Rho, i, j, k, 1.0);
+            }
+        }
+        let cluster = Arc::new(Cluster::builder().localities(2).build());
+        let mut dist = DistributedDriver::new(scenario, cluster).unwrap();
+        // With zero pressure and velocity the signal speed is 0 — the
+        // driver must surface the non-finite dt as an error, not panic.
+        match dist.step() {
+            Err(Error::Driver(msg)) => assert!(msg.contains("dt")),
+            other => panic!("expected a driver error, got {other:?}"),
+        }
+    }
+}

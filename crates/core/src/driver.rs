@@ -22,6 +22,104 @@ use std::sync::Arc;
 use util::morton::MortonKey;
 use util::vec3::Vec3;
 
+// ---------------------------------------------------------------------
+// Per-leaf kernels, shared verbatim by the single-locality `Simulation`
+// and the multi-locality `crate::distributed::DistributedDriver`. The
+// distributed solve is bit-identical to this driver *by construction*
+// because both run exactly these functions on identical inputs.
+
+/// CFL-limited signal dt of one leaf.
+pub(crate) fn leaf_signal_dt(
+    tree: &Octree,
+    key: MortonKey,
+    stepper: HydroStepper,
+    cfl: f64,
+) -> f64 {
+    let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
+    let a = stepper.max_signal_speed(grid);
+    cfl_dt(tree.domain().cell_dx(key.level), a, cfl)
+}
+
+/// Full RHS (hydro + gravity + rotating-frame sources) of one leaf.
+/// Ghosts must be filled; `grav`, when present, must cover `key`.
+pub(crate) fn leaf_rhs(
+    tree: &Octree,
+    key: MortonKey,
+    grav: Option<&GravityField>,
+    stepper: HydroStepper,
+    frame: RotatingFrame,
+) -> Vec<StateVec> {
+    let domain = tree.domain();
+    let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
+    let dx = domain.cell_dx(key.level);
+    let mut rhs = stepper.dudt(grid, dx);
+    // Gravity sources: conservation-grade force density, energy power,
+    // and the spin torque ledger.
+    if let Some(g) = grav {
+        if let Some(cells) = g.leaf(key) {
+            let n = N_SUB as isize;
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let ci = ((i * n + j) * n + k) as usize;
+                        let cg = &cells[ci];
+                        let rho = grid.at(Field::Rho, i, j, k);
+                        let s = Vec3::new(
+                            grid.at(Field::Sx, i, j, k),
+                            grid.at(Field::Sy, i, j, k),
+                            grid.at(Field::Sz, i, j, k),
+                        );
+                        let u = if rho > 0.0 { s / rho } else { Vec3::ZERO };
+                        rhs[ci][Field::Sx.idx()] += cg.force_density.x;
+                        rhs[ci][Field::Sy.idx()] += cg.force_density.y;
+                        rhs[ci][Field::Sz.idx()] += cg.force_density.z;
+                        rhs[ci][Field::Egas.idx()] += cg.force_density.dot(u);
+                        rhs[ci][Field::Lx.idx()] += cg.torque_density.x;
+                        rhs[ci][Field::Ly.idx()] += cg.torque_density.y;
+                        rhs[ci][Field::Lz.idx()] += cg.torque_density.z;
+                    }
+                }
+            }
+        }
+    }
+    // Rotating-frame sources.
+    frame.add_sources(grid, domain.node_origin(key), dx, &mut rhs);
+    rhs
+}
+
+/// Stage-1 (forward Euler) update of one leaf; returns the pre-update
+/// grid the RK2 final stage needs.
+pub(crate) fn apply_stage1(
+    stepper: HydroStepper,
+    grid: &mut SubGrid,
+    rhs: &[StateVec],
+    dt: f64,
+    floors: bool,
+) -> SubGrid {
+    let old = grid.clone();
+    stepper.apply(grid, rhs, dt);
+    if floors {
+        stepper.enforce_floors(grid);
+    }
+    old
+}
+
+/// Stage-2 (TVD-RK2 average) update of one leaf.
+pub(crate) fn apply_stage2(
+    stepper: HydroStepper,
+    grid: &mut SubGrid,
+    prev: &SubGrid,
+    rhs: &[StateVec],
+    dt: f64,
+    floors: bool,
+) {
+    stepper.apply_rk2_final(grid, prev, rhs, dt);
+    if floors {
+        stepper.enforce_floors(grid);
+    }
+    stepper.resync_tau(grid);
+}
+
 /// A running simulation.
 pub struct Simulation {
     tree: Arc<Octree>,
@@ -84,18 +182,13 @@ impl Simulation {
     /// task per leaf. `when_all` returns results in leaf order and the
     /// fold is ordered, so the reduction is deterministic.
     pub fn compute_dt(&self) -> f64 {
-        let domain = self.tree.domain();
         let leaves = self.tree.leaves();
         let mut futs = Vec::with_capacity(leaves.len());
         for key in leaves {
             let tree = Arc::clone(&self.tree);
             let stepper = self.stepper;
             let cfl = self.config.cfl;
-            futs.push(self.rt.async_call(move || {
-                let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
-                let a = stepper.max_signal_speed(grid);
-                cfl_dt(domain.cell_dx(key.level), a, cfl)
-            }));
+            futs.push(self.rt.async_call(move || leaf_signal_dt(&tree, key, stepper, cfl)));
         }
         let sched = Arc::clone(self.rt.scheduler());
         let dts = when_all(&sched, futs).get_help(&sched);
@@ -118,42 +211,7 @@ impl Simulation {
             let stepper = self.stepper;
             let frame = self.frame;
             futures.push(self.rt.async_call(move || {
-                let domain = tree.domain();
-                let grid = tree.node(key).expect("leaf").grid.as_ref().expect("grid");
-                let dx = domain.cell_dx(key.level);
-                let mut rhs = stepper.dudt(grid, dx);
-                // Gravity sources: conservation-grade force density,
-                // energy power, and the spin torque ledger.
-                if let Some(g) = grav.as_ref() {
-                    if let Some(cells) = g.leaf(key) {
-                        let n = N_SUB as isize;
-                        for i in 0..n {
-                            for j in 0..n {
-                                for k in 0..n {
-                                    let ci = ((i * n + j) * n + k) as usize;
-                                    let cg = &cells[ci];
-                                    let rho = grid.at(Field::Rho, i, j, k);
-                                    let s = Vec3::new(
-                                        grid.at(Field::Sx, i, j, k),
-                                        grid.at(Field::Sy, i, j, k),
-                                        grid.at(Field::Sz, i, j, k),
-                                    );
-                                    let u = if rho > 0.0 { s / rho } else { Vec3::ZERO };
-                                    rhs[ci][Field::Sx.idx()] += cg.force_density.x;
-                                    rhs[ci][Field::Sy.idx()] += cg.force_density.y;
-                                    rhs[ci][Field::Sz.idx()] += cg.force_density.z;
-                                    rhs[ci][Field::Egas.idx()] += cg.force_density.dot(u);
-                                    rhs[ci][Field::Lx.idx()] += cg.torque_density.x;
-                                    rhs[ci][Field::Ly.idx()] += cg.torque_density.y;
-                                    rhs[ci][Field::Lz.idx()] += cg.torque_density.z;
-                                }
-                            }
-                        }
-                    }
-                }
-                // Rotating-frame sources.
-                frame.add_sources(grid, domain.node_origin(key), dx, &mut rhs);
-                (key, rhs)
+                (key, leaf_rhs(&tree, key, grav.as_deref(), stepper, frame))
             }));
         }
         let sched = Arc::clone(self.rt.scheduler());
@@ -186,11 +244,7 @@ impl Simulation {
             for (key, rhs) in &rhs1 {
                 let node = tree.node_mut(*key).expect("leaf");
                 let grid = node.grid.as_mut().expect("grid");
-                old.insert(*key, grid.clone());
-                stepper.apply(grid, rhs, dt);
-                if floors {
-                    stepper.enforce_floors(grid);
-                }
+                old.insert(*key, apply_stage1(stepper, grid, rhs, dt, floors));
             }
         }
 
@@ -204,12 +258,7 @@ impl Simulation {
             for (key, rhs) in &rhs2 {
                 let node = tree.node_mut(*key).expect("leaf");
                 let grid = node.grid.as_mut().expect("grid");
-                let prev = &old[key];
-                stepper.apply_rk2_final(grid, prev, rhs, dt);
-                if floors {
-                    stepper.enforce_floors(grid);
-                }
-                stepper.resync_tau(grid);
+                apply_stage2(stepper, grid, &old[key], rhs, dt, floors);
             }
             tree.restrict_all();
         }

@@ -18,6 +18,10 @@
 //!   TVD-RK2 hydro update with gravity/rotating-frame sources, with the
 //!   per-leaf work futurized over the `amt` scheduler (the "billions of
 //!   HPX tasks" structure at laptop scale).
+//! * [`distributed`] — the same step distributed over a simulated
+//!   multi-locality cluster: sub-grids sharded along the space filling
+//!   curve, halo/multipole exchange and the dt reduction as parcels
+//!   over either parcelport, bit-identical to [`driver`].
 //! * [`diagnostics`] — the conserved-quantity monitors behind the
 //!   paper's machine-precision conservation claims.
 //! * [`regrid`] — dynamic density-driven refinement/coarsening with
@@ -26,6 +30,7 @@
 
 pub mod config;
 pub mod diagnostics;
+pub mod distributed;
 pub mod driver;
 pub mod regrid;
 pub mod scenario;
@@ -33,5 +38,6 @@ pub mod verification;
 
 pub use config::Config;
 pub use diagnostics::Totals;
+pub use distributed::DistributedDriver;
 pub use driver::Simulation;
 pub use scenario::Scenario;

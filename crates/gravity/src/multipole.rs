@@ -24,6 +24,10 @@ pub struct Multipole {
     pub q: [f64; 6],
 }
 
+// Wire codec: cell moments travel between localities in the distributed
+// FMM exchange; f64 bit patterns round-trip exactly.
+serde::impl_codec_struct!(Multipole { m, com, q });
+
 impl Multipole {
     /// A leaf cell: homogeneous density → point mass at the cell centre.
     pub fn monopole(m: f64, center: Vec3) -> Multipole {

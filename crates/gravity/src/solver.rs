@@ -46,7 +46,6 @@ use octree::tree::Octree;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use util::morton::MortonKey;
 use util::vec3::Vec3;
@@ -243,6 +242,42 @@ fn assemble_leaf(
         };
     }
     out
+}
+
+/// P2M moments of a single *leaf* — the per-leaf unit of work the
+/// distributed driver computes locally and broadcasts as parcels. Runs
+/// the exact same code path as the full moment pass, so replicated M2M
+/// from these values is bit-identical to a local
+/// [`FmmSolver::compute_moments`].
+pub fn leaf_moments(tree: &Octree, key: MortonKey) -> Vec<Multipole> {
+    assert!(
+        !tree.node(key).expect("key exists in tree").refined,
+        "leaf_moments called on a refined node"
+    );
+    // The leaf branch of compute_node_moments never reads the map.
+    compute_node_moments(tree, &MomentMap::new(), key)
+}
+
+/// Bottom-up M2M from a *complete* per-leaf moment map (own leaves plus
+/// every remote leaf's broadcast moments): fills in all refined
+/// ancestors. Refined nodes read only their children's moments — never
+/// grids — so the result is bit-identical to
+/// [`FmmSolver::compute_moments`] on the reference tree whenever the
+/// leaf moments are.
+pub fn moments_from_leaf_moments(
+    tree: &Octree,
+    leaf_moments: HashMap<MortonKey, Arc<Vec<Multipole>>>,
+) -> MomentMap {
+    let mut moments = leaf_moments;
+    for level in (0..=tree.max_level()).rev() {
+        for key in tree.level_keys(level) {
+            if tree.node(key).expect("node exists").refined {
+                let cells = compute_node_moments(tree, &moments, key);
+                moments.insert(key, Arc::new(cells));
+            }
+        }
+    }
+    moments
 }
 
 /// The FMM gravity solver.
@@ -709,16 +744,142 @@ impl FmmSolver {
             }
         }
 
-        // Publish performance counters.
-        let counters = rt.counters();
-        counters
-            .handle("fmm/scratch_hits")
-            .store(self.scratch.hits(), Ordering::Relaxed);
-        counters
-            .handle("fmm/scratch_misses")
-            .store(self.scratch.misses(), Ordering::Relaxed);
-        counters.add("fmm/kernels/gpu", gpu_launches);
-        counters.add("fmm/kernels/cpu", cpu_launches);
+        self.publish_counters(rt, gpu_launches, cpu_launches);
+
+        GravityField {
+            cells,
+            interactions,
+            kernel_launches: gpu_launches + cpu_launches,
+            kernel_launches_cpu: cpu_launches,
+            kernel_launches_gpu: gpu_launches,
+        }
+    }
+
+    /// Publish solver counters through the runtime's [`amt::Metrics`]
+    /// facade (same registry the legacy `counters()` API reads, so the
+    /// `fmm/*` names are stable).
+    fn publish_counters(&self, rt: &Arc<Runtime>, gpu_launches: u64, cpu_launches: u64) {
+        let metrics = rt.metrics();
+        metrics.counter("fmm/scratch_hits").store(self.scratch.hits());
+        metrics.counter("fmm/scratch_misses").store(self.scratch.misses());
+        metrics.counter("fmm/kernels/gpu").add(gpu_launches);
+        metrics.counter("fmm/kernels/cpu").add(cpu_launches);
+    }
+
+    /// Futurized steps 2–3 + assembly *restricted to a shard*: run the
+    /// same-level pass only for `targets` (leaves owned by one locality)
+    /// and their refined ancestors, the downward pass only through those
+    /// ancestors, and assembly only for `targets`. `moments` must be the
+    /// complete (globally replicated) moment map, so gathered neighbor
+    /// halos are identical to the full solve's — which makes every
+    /// per-target output bit-identical to the corresponding entry of
+    /// [`FmmSolver::solve_with_moments_parallel`].
+    pub fn solve_restricted_parallel(
+        self: &Arc<Self>,
+        tree: &Arc<Octree>,
+        moments: &Arc<MomentMap>,
+        targets: &[MortonKey],
+        rt: &Arc<Runtime>,
+    ) -> GravityField {
+        use std::collections::BTreeSet;
+        let sched = Arc::clone(rt.scheduler());
+        let domain = tree.domain();
+        let width = self.gather_width();
+        // Closure over ancestors: every target leaf needs the downward
+        // contributions of its whole refined ancestor chain.
+        let mut needed: BTreeSet<MortonKey> = BTreeSet::new();
+        for &key in targets {
+            needed.insert(key);
+            let mut cur = key;
+            while let Some(parent) = cur.parent() {
+                if !needed.insert(parent) {
+                    break;
+                }
+                cur = parent;
+            }
+        }
+        let n_nodes = needed.len();
+        let concurrency = sched.n_threads() + 1;
+        self.scratch
+            .ensure(concurrency.min(n_nodes.max(1)), width, n_nodes + concurrency);
+
+        // Same-level pass over the needed closure only.
+        let mut futs = Vec::with_capacity(n_nodes);
+        for &key in &needed {
+            let solver = Arc::clone(self);
+            let tree = Arc::clone(tree);
+            let moments = Arc::clone(moments);
+            let sched = Arc::clone(&sched);
+            futs.push(rt.async_call(move || {
+                let worker = sched.current_worker();
+                let (out, interactions, gpu, cpu) =
+                    solver.same_level_node(&tree, &moments, key, worker);
+                (key, out, interactions, gpu, cpu)
+            }));
+        }
+        let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::with_capacity(n_nodes);
+        let mut interactions = 0u64;
+        let mut gpu_launches = 0u64;
+        let mut cpu_launches = 0u64;
+        for (key, out, n, g, c) in when_all(&sched, futs).get_help(&sched) {
+            same.insert(key, out);
+            interactions += n;
+            gpu_launches += g;
+            cpu_launches += c;
+        }
+
+        // Downward pass through the refined needed nodes (= ancestors),
+        // level by level. A needed node's parent is always needed, so
+        // inherited data flows down the full chain.
+        let same = Arc::new(same);
+        let mut inherited: HashMap<MortonKey, Vec<Inherited>> = HashMap::new();
+        for level in 0..=tree.max_level() {
+            let mut futs = Vec::new();
+            for &key in needed.iter().filter(|k| k.level == level) {
+                if !tree.node(key).expect("node exists").refined {
+                    continue;
+                }
+                let own_inh = inherited.remove(&key);
+                let moments = Arc::clone(moments);
+                let same = Arc::clone(&same);
+                futs.push(rt.async_call(move || {
+                    downward_node(&moments, &same, key, own_inh.as_ref())
+                }));
+            }
+            for children in when_all(&sched, futs).get_help(&sched) {
+                for (child_key, v) in children {
+                    inherited.insert(child_key, v);
+                }
+            }
+        }
+
+        // Assemble only the owned leaves.
+        let mut futs = Vec::with_capacity(targets.len());
+        for &key in targets {
+            let own_inh = inherited.remove(&key);
+            let moments = Arc::clone(moments);
+            let same = Arc::clone(&same);
+            futs.push(rt.async_call(move || {
+                let vol = domain.cell_volume(key.level);
+                (
+                    key,
+                    assemble_leaf(vol, &same[&key], own_inh.as_ref(), &moments[&key]),
+                )
+            }));
+        }
+        let mut cells = HashMap::with_capacity(targets.len());
+        for (key, out) in when_all(&sched, futs).get_help(&sched) {
+            cells.insert(key, out);
+        }
+
+        rt.wait_quiescent();
+        if let Ok(map) = Arc::try_unwrap(same) {
+            for (_, buf) in map {
+                self.scratch.put_expansions(buf);
+            }
+        }
+
+        self.publish_counters(rt, gpu_launches, cpu_launches);
 
         GravityField {
             cells,
@@ -933,6 +1094,59 @@ mod tests {
                 for (x, y) in a.iter().zip(b.iter()) {
                     assert_eq!(x.phi.to_bits(), y.phi.to_bits());
                     assert_eq!(x.g.x.to_bits(), y.g.x.to_bits());
+                    assert_eq!(x.force_density.x.to_bits(), y.force_density.x.to_bits());
+                    assert_eq!(x.torque_density.x.to_bits(), y.torque_density.x.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_m2m_from_leaf_moments_is_bit_identical() {
+        let tree = uniform_tree(2, blob_density);
+        let solver = FmmSolver::new(0.5);
+        let reference = solver.compute_moments(&tree);
+        // Simulate the distributed exchange: per-leaf P2M, then M2M.
+        let leaf_map: HashMap<MortonKey, Arc<Vec<Multipole>>> = tree
+            .leaves()
+            .into_iter()
+            .map(|k| (k, Arc::new(leaf_moments(&tree, k))))
+            .collect();
+        let rebuilt = moments_from_leaf_moments(&tree, leaf_map);
+        assert_eq!(rebuilt.len(), reference.len());
+        for (key, cells) in &reference {
+            let got = &rebuilt[key];
+            for (a, b) in cells.iter().zip(got.iter()) {
+                assert_eq!(a.m.to_bits(), b.m.to_bits());
+                assert_eq!(a.com.x.to_bits(), b.com.x.to_bits());
+                for (qa, qb) in a.q.iter().zip(b.q.iter()) {
+                    assert_eq!(qa.to_bits(), qb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_solve_matches_full_solve_per_leaf() {
+        let tree = Arc::new(uniform_tree(2, blob_density));
+        let solver = Arc::new(FmmSolver::new(0.5));
+        let rt = Runtime::new(2);
+        let moments = Arc::new(solver.compute_moments_parallel(&tree, &rt));
+        let full = solver.solve_with_moments_parallel(&tree, &moments, &rt);
+        // Split the leaves into two "shards" and solve each restricted.
+        let leaves = tree.leaves();
+        let mid = leaves.len() / 2;
+        for shard in [&leaves[..mid], &leaves[mid..]] {
+            let part = solver.solve_restricted_parallel(&tree, &moments, shard, &rt);
+            assert_eq!(part.leaves().count(), shard.len());
+            for &key in shard {
+                let a = full.leaf(key).unwrap();
+                let b = part.leaf(key).unwrap();
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.phi.to_bits(), y.phi.to_bits());
+                    assert_eq!(x.g.x.to_bits(), y.g.x.to_bits());
+                    assert_eq!(x.g.y.to_bits(), y.g.y.to_bits());
+                    assert_eq!(x.g.z.to_bits(), y.g.z.to_bits());
                     assert_eq!(x.force_density.x.to_bits(), y.force_density.x.to_bits());
                     assert_eq!(x.torque_density.x.to_bits(), y.torque_density.x.to_bits());
                 }

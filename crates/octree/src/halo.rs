@@ -192,9 +192,25 @@ pub fn fill_all_halos_parallel(
     bc: BoundaryCondition,
     rt: &std::sync::Arc<amt::Runtime>,
 ) {
+    let leaves = tree.leaves();
+    fill_halos_for_leaves(tree, &leaves, bc, rt);
+}
+
+/// Fill the ghost layers of a *subset* of leaves — the distributed
+/// driver's per-shard ghost fill. Reads sample the interiors of
+/// whatever leaves the subset's halos touch (which must be up to date);
+/// writes touch only the ghost cells of `leaves`, in slice order.
+/// Determinism discipline matches [`fill_all_halos_parallel`]: futurized
+/// pure reads, `when_all` in input order, serial ordered writes.
+pub fn fill_halos_for_leaves(
+    tree: &mut std::sync::Arc<Octree>,
+    leaves: &[MortonKey],
+    bc: BoundaryCondition,
+    rt: &std::sync::Arc<amt::Runtime>,
+) {
     use std::sync::Arc;
     assert!(tree.has_grids(), "halo filling needs grid data");
-    let leaves = tree.leaves();
+    let leaves = leaves.to_vec();
     let mut futs = Vec::with_capacity(leaves.len());
     for &key in &leaves {
         let tree = Arc::clone(tree);

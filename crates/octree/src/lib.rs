@@ -30,10 +30,12 @@ pub mod halo;
 pub mod prolong;
 pub mod refine;
 pub mod sfc;
+pub mod shard;
 pub mod subgrid;
 pub mod tree;
 
 pub use geometry::Domain;
+pub use shard::ShardMap;
 pub use subgrid::{Field, SubGrid, FIELD_COUNT, N_SUB};
 pub use tree::{Octree, TreeNode};
 

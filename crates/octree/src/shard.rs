@@ -1,0 +1,233 @@
+//! Shard-aware owner maps for distributing sub-grids over localities.
+//!
+//! Octo-Tiger assigns octree nodes to localities along the space filling
+//! curve (paper §4.2); [`ShardMap`] wraps [`crate::sfc::partition`] into
+//! the owner/owned view the distributed driver needs, plus the static
+//! communication plan for halo traffic:
+//!
+//! * [`ShardMap::owner`] — which locality owns a leaf,
+//! * [`ShardMap::owned`] — a locality's leaves in SFC order (the order
+//!   every deterministic fold/write uses),
+//! * [`ShardMap::halo_sources`] — the leaves whose *interiors* a leaf's
+//!   ghost fill may read (its 26-direction neighbor closure), and
+//! * [`ShardMap::halo_push_plan`] — per source locality, which of its
+//!   leaves must be pushed to which destination before that
+//!   destination can fill ghosts.
+//!
+//! Why the 26-direction closure suffices: every ghost cell of a leaf
+//! lies, per axis, either in the leaf's own span or in the adjacent
+//! span one cell-block over (after the boundary clamp/reflect it can
+//! only move back *towards* the leaf), so the cell sampled by
+//! `halo::sample_cell` — directly, via coarse injection, or via the
+//! one-level fine average that 2:1 balance permits — always belongs to
+//! the leaf itself or one of its same-level/coarser/finer neighbors in
+//! the 26 directions.
+
+use crate::sfc;
+use crate::tree::{Neighbor, Octree, DIRECTIONS};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use util::error::{Error, Result};
+use util::morton::MortonKey;
+
+/// The static assignment of leaves to shards (localities).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    owner: HashMap<MortonKey, u32>,
+    owned: Vec<Vec<MortonKey>>,
+}
+
+impl ShardMap {
+    /// Partition the tree's leaves into `n_shards` contiguous,
+    /// balanced chunks along the space filling curve.
+    pub fn partition(tree: &Octree, n_shards: usize) -> Result<ShardMap> {
+        if n_shards == 0 {
+            return Err(Error::Octree("cannot partition over zero shards".into()));
+        }
+        let leaves = tree.leaves();
+        if leaves.is_empty() {
+            return Err(Error::Octree("tree has no leaves to partition".into()));
+        }
+        let assignment = sfc::partition(&leaves, n_shards);
+        let mut owner = HashMap::with_capacity(leaves.len());
+        let mut owned = vec![Vec::new(); n_shards];
+        // Iterating `leaves` (SFC-sorted) keeps each owned list in SFC
+        // order — the deterministic iteration order for all shard work.
+        for &leaf in &leaves {
+            let part = assignment[&leaf] as u32;
+            owner.insert(leaf, part);
+            owned[part as usize].push(leaf);
+        }
+        Ok(ShardMap { owner, owned })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Total number of leaves across all shards.
+    pub fn n_leaves(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The locality owning leaf `key`.
+    pub fn owner(&self, key: MortonKey) -> Result<u32> {
+        self.owner
+            .get(&key)
+            .copied()
+            .ok_or_else(|| Error::Octree(format!("{key:?} is not a leaf in the shard map")))
+    }
+
+    /// The leaves owned by `shard`, in SFC order.
+    pub fn owned(&self, shard: u32) -> &[MortonKey] {
+        &self.owned[shard as usize]
+    }
+
+    /// The leaves whose interiors the ghost fill of `key` may sample
+    /// (excluding `key` itself), sorted by key for determinism.
+    pub fn halo_sources(tree: &Octree, key: MortonKey) -> Vec<MortonKey> {
+        let mut set = BTreeSet::new();
+        for dir in DIRECTIONS {
+            match tree.neighbor(key, dir) {
+                Neighbor::SameLevel(k) | Neighbor::Coarser(k) => {
+                    set.insert(k);
+                }
+                Neighbor::Finer(children) => {
+                    set.extend(children);
+                }
+                Neighbor::Boundary => {}
+            }
+        }
+        set.remove(&key);
+        set.into_iter().collect()
+    }
+
+    /// The static send schedule: `plan[src][dst]` is the sorted list of
+    /// leaves owned by shard `src` whose interiors shard `dst` needs
+    /// before it can fill the ghosts of its own leaves.
+    pub fn halo_push_plan(&self, tree: &Octree) -> Vec<BTreeMap<u32, Vec<MortonKey>>> {
+        let mut plan: Vec<BTreeMap<u32, BTreeSet<MortonKey>>> =
+            vec![BTreeMap::new(); self.n_shards()];
+        for (dst, targets) in self.owned.iter().enumerate() {
+            let dst = dst as u32;
+            for &target in targets {
+                for source in Self::halo_sources(tree, target) {
+                    let src = self.owner[&source];
+                    if src != dst {
+                        plan[src as usize].entry(dst).or_default().insert(source);
+                    }
+                }
+            }
+        }
+        plan.into_iter()
+            .map(|by_dst| {
+                by_dst
+                    .into_iter()
+                    .map(|(dst, keys)| (dst, keys.into_iter().collect()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Domain;
+
+    fn amr_tree() -> Octree {
+        let mut t = Octree::new(Domain::new(16.0));
+        t.refine_where(2, |d, k| d.node_origin(k).x < 0.0);
+        t.check_invariants();
+        t
+    }
+
+    #[test]
+    fn partition_covers_every_leaf_exactly_once() {
+        let t = amr_tree();
+        let map = ShardMap::partition(&t, 4).unwrap();
+        let mut seen = BTreeSet::new();
+        for shard in 0..4u32 {
+            for &leaf in map.owned(shard) {
+                assert_eq!(map.owner(leaf).unwrap(), shard);
+                assert!(seen.insert(leaf), "{leaf:?} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), t.leaves().len());
+        assert_eq!(map.n_leaves(), t.leaves().len());
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let t = amr_tree();
+        let map = ShardMap::partition(&t, 3).unwrap();
+        let counts: Vec<usize> = (0..3).map(|s| map.owned(s).len()).collect();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn zero_shards_and_unknown_leaf_error() {
+        let t = amr_tree();
+        assert!(ShardMap::partition(&t, 0).is_err());
+        let map = ShardMap::partition(&t, 2).unwrap();
+        // The root is refined, hence not a leaf.
+        assert!(map.owner(MortonKey::root()).is_err());
+    }
+
+    #[test]
+    fn halo_sources_match_neighbor_closure() {
+        let t = amr_tree();
+        for leaf in t.leaves() {
+            let sources = ShardMap::halo_sources(&t, leaf);
+            assert!(!sources.contains(&leaf));
+            // Sorted and unique.
+            for pair in sources.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+            // Every source is itself a leaf.
+            for s in &sources {
+                assert!(t.leaves().contains(s), "{s:?} is not a leaf");
+            }
+        }
+    }
+
+    #[test]
+    fn push_plan_covers_every_cross_shard_source() {
+        let t = amr_tree();
+        let map = ShardMap::partition(&t, 4).unwrap();
+        let plan = map.halo_push_plan(&t);
+        // For every leaf, every cross-shard halo source appears in the
+        // plan of the source's owner, addressed to the leaf's owner.
+        for leaf in t.leaves() {
+            let dst = map.owner(leaf).unwrap();
+            for source in ShardMap::halo_sources(&t, leaf) {
+                let src = map.owner(source).unwrap();
+                if src != dst {
+                    let scheduled = plan[src as usize]
+                        .get(&dst)
+                        .map(|keys| keys.contains(&source))
+                        .unwrap_or(false);
+                    assert!(scheduled, "{source:?} (shard {src}) missing for {leaf:?} (shard {dst})");
+                }
+            }
+        }
+        // And the plan never ships a leaf to its own shard.
+        for (src, by_dst) in plan.iter().enumerate() {
+            for (&dst, keys) in by_dst {
+                assert_ne!(src as u32, dst);
+                for key in keys {
+                    assert_eq!(map.owner(*key).unwrap(), src as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_is_empty() {
+        let t = amr_tree();
+        let map = ShardMap::partition(&t, 1).unwrap();
+        let plan = map.halo_push_plan(&t);
+        assert!(plan[0].is_empty());
+    }
+}

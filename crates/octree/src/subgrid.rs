@@ -281,6 +281,39 @@ impl SubGrid {
         let ext = |d: i32| if d == 0 { N_SUB } else { N_GHOST };
         ext(dir.0) * ext(dir.1) * ext(dir.2)
     }
+
+    /// All interior cells of every field, field-major then row-major —
+    /// the payload of a distributed grid-sync message. The fixed
+    /// iteration order makes the round trip through
+    /// [`SubGrid::apply_interior`] bit-exact and deterministic.
+    pub fn extract_interior(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(FIELD_COUNT * self.indexer.interior_len());
+        for f in ALL_FIELDS {
+            let data = self.field(f);
+            for (i, j, k) in self.indexer.interior() {
+                out.push(data[self.indexer.idx(i, j, k)]);
+            }
+        }
+        out
+    }
+
+    /// Overwrite every interior cell from a payload produced by
+    /// [`SubGrid::extract_interior`]. Ghost cells are untouched.
+    pub fn apply_interior(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            FIELD_COUNT * self.indexer.interior_len(),
+            "interior payload size mismatch"
+        );
+        let indexer = self.indexer;
+        let mut src = values.iter();
+        for f in ALL_FIELDS {
+            let field = self.field_mut(f);
+            for (i, j, k) in indexer.interior() {
+                field[indexer.idx(i, j, k)] = *src.next().expect("checked length");
+            }
+        }
+    }
 }
 
 /// Source range (in the *sender's* interior) for a halo in direction `d`.

@@ -47,6 +47,10 @@ pub enum Neighbor {
 }
 
 /// The adaptive octree of sub-grids.
+///
+/// `Clone` deep-copies every node's sub-grid — the distributed driver
+/// uses this to give each simulated locality its own mirror of the tree.
+#[derive(Clone)]
 pub struct Octree {
     domain: Domain,
     nodes: HashMap<MortonKey, TreeNode>,

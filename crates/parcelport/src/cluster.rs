@@ -14,16 +14,17 @@
 //! component has migrated (§5.2: channels keep working "even when a grid
 //! cell is migrated from one node to another").
 
-use crate::netmodel::TransportKind;
+use crate::netmodel::{NetParams, TransportKind};
 use crate::parcel::{ActionId, ActionRegistry, Parcel};
 use crate::serialize::{from_bytes, to_bytes};
-use amt::{CounterRegistry, Future, GlobalId, Promise, Runtime};
+use amt::{CounterRegistry, Future, GlobalId, Metrics, Promise, Runtime};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use util::{Error, Result};
 
 /// Reserved action id carrying responses of remote calls.
 pub const RESPONSE_ACTION: ActionId = ActionId(0);
@@ -70,6 +71,7 @@ pub struct Locality {
     rt: Arc<Runtime>,
     actions: ActionRegistry,
     index: u32,
+    n_localities: usize,
     transport: Arc<dyn Transport>,
     pending_calls: Mutex<HashMap<u64, Promise<Bytes>>>,
     next_request: AtomicU64,
@@ -92,22 +94,75 @@ impl Locality {
     }
 
     /// Fire-and-forget: send `parcel` (local destinations dispatch
-    /// without touching the network, as in HPX).
-    pub fn send(&self, parcel: Parcel) {
+    /// without touching the network, as in HPX). Returns
+    /// [`Error::BadLocality`] instead of letting an out-of-range
+    /// destination panic inside the transport.
+    pub fn try_send(&self, parcel: Parcel) -> Result<()> {
+        if (parcel.dest_locality as usize) >= self.n_localities {
+            return Err(Error::BadLocality {
+                index: parcel.dest_locality,
+                count: self.n_localities,
+            });
+        }
         if parcel.dest_locality == self.index {
             self.deliver(parcel);
         } else {
             let c = self.transport.counters();
+            let wire = parcel.wire_size() as u64;
             c.increment("parcels/sent");
-            c.add("parcels/bytes_sent", parcel.wire_size() as u64);
+            c.add("parcels/bytes_sent", wire);
+            // The namespaced aliases the metrics facade documents
+            // (`parcelport/<kind>/parcels_tx`, `.../bytes_tx`).
+            c.increment("parcels_tx");
+            c.add("bytes_tx", wire);
             self.transport.send(self.index, parcel);
         }
+        Ok(())
+    }
+
+    /// Infallible [`Locality::try_send`]; panics on a bad destination.
+    pub fn send(&self, parcel: Parcel) {
+        self.try_send(parcel).expect("parcel send failed");
     }
 
     /// Remote call: run `action` on `dest` with argument `req`; the
     /// returned future is fulfilled with the handler's response. The
     /// handler must have been registered with
-    /// [`Cluster::register_request_handler`].
+    /// [`Cluster::register_request_handler`]. Serialization failures and
+    /// bad destinations surface as `Err` before anything is enqueued.
+    pub fn try_call<Req: Serialize, Resp: for<'de> Deserialize<'de> + Send + 'static>(
+        &self,
+        dest_locality: u32,
+        dest_component: GlobalId,
+        action: ActionId,
+        req: &Req,
+    ) -> Result<Future<Resp>> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let envelope = CallEnvelope {
+            request_id,
+            reply_to: self.index,
+            body: to_bytes(req)?.to_vec(),
+        };
+        let payload = to_bytes(&envelope)?;
+        let (promise, raw) = Promise::new();
+        self.pending_calls.lock().insert(request_id, promise);
+        if let Err(e) = self.try_send(Parcel {
+            dest_locality,
+            dest_component,
+            action,
+            payload,
+        }) {
+            // Unwind the registration so the aborted call leaks nothing.
+            self.pending_calls.lock().remove(&request_id);
+            return Err(e);
+        }
+        Ok(raw.then(self.rt.scheduler(), |bytes: Bytes| {
+            from_bytes(&bytes).expect("response deserialization failed")
+        }))
+    }
+
+    /// Infallible [`Locality::try_call`]; panics on serialization
+    /// failure or a bad destination.
     pub fn call<Req: Serialize, Resp: for<'de> Deserialize<'de> + Send + 'static>(
         &self,
         dest_locality: u32,
@@ -115,23 +170,8 @@ impl Locality {
         action: ActionId,
         req: &Req,
     ) -> Future<Resp> {
-        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let (promise, raw) = Promise::new();
-        self.pending_calls.lock().insert(request_id, promise);
-        let envelope = CallEnvelope {
-            request_id,
-            reply_to: self.index,
-            body: to_bytes(req).expect("request serialization failed").to_vec(),
-        };
-        self.send(Parcel {
-            dest_locality,
-            dest_component,
-            action,
-            payload: to_bytes(&envelope).expect("envelope serialization failed"),
-        });
-        raw.then(self.rt.scheduler(), |bytes: Bytes| {
-            from_bytes(&bytes).expect("response deserialization failed")
-        })
+        self.try_call(dest_locality, dest_component, action, req)
+            .expect("remote call failed")
     }
 
     /// Deliver an inbound (or loopback) parcel: forward if the target
@@ -151,35 +191,103 @@ impl Locality {
 pub struct Cluster {
     localities: Vec<Arc<Locality>>,
     transport: Arc<dyn Transport>,
+    net: NetParams,
+    metrics: Arc<Metrics>,
 }
 
-impl Cluster {
-    /// Build a cluster of `n_localities`, each with `threads_per`
-    /// scheduler threads, connected by `kind`'s transport.
-    pub fn new(n_localities: usize, threads_per: usize, kind: TransportKind) -> Cluster {
-        let transport: Arc<dyn Transport> = match kind {
-            TransportKind::Mpi => Arc::new(crate::mpi_sim::MpiTransport::new(n_localities)),
-            TransportKind::Libfabric => {
-                Arc::new(crate::libfabric_sim::LibfabricTransport::new(n_localities))
-            }
-        };
-        Self::with_transport(n_localities, threads_per, transport)
+/// Fluent construction of a [`Cluster`]:
+///
+/// ```ignore
+/// let cluster = Cluster::builder()
+///     .localities(4)
+///     .threads_per(2)
+///     .transport(TransportKind::Libfabric)
+///     .build();
+/// ```
+///
+/// Defaults: 1 locality, 1 scheduler thread, MPI transport, the
+/// transport's Piz-Daint-calibrated [`NetParams`] latency model.
+pub struct ClusterBuilder {
+    localities: usize,
+    threads_per: usize,
+    kind: TransportKind,
+    transport: Option<Arc<dyn Transport>>,
+    net: Option<NetParams>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            localities: 1,
+            threads_per: 1,
+            kind: TransportKind::Mpi,
+            transport: None,
+            net: None,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of simulated localities (compute nodes).
+    pub fn localities(mut self, n: usize) -> Self {
+        self.localities = n;
+        self
     }
 
-    /// Build a cluster over an explicit transport instance.
-    pub fn with_transport(
-        n_localities: usize,
-        threads_per: usize,
-        transport: Arc<dyn Transport>,
-    ) -> Cluster {
-        assert!(n_localities > 0, "cluster needs at least one locality");
-        let mut localities = Vec::with_capacity(n_localities);
-        for i in 0..n_localities {
-            let rt = Runtime::with_locality(threads_per, i as u32);
+    /// Scheduler threads per locality.
+    pub fn threads_per(mut self, n: usize) -> Self {
+        self.threads_per = n;
+        self
+    }
+
+    /// Which transport backend to instantiate.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Use an explicit transport instance instead of instantiating one
+    /// from the kind (e.g. a test double).
+    pub fn transport_instance(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Override the network cost model attached to the cluster (used by
+    /// benches to convert measured byte counters into modeled time).
+    pub fn latency_model(mut self, net: NetParams) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Validate and build.
+    pub fn try_build(self) -> Result<Cluster> {
+        if self.localities == 0 {
+            return Err(Error::Driver("cluster needs at least one locality".into()));
+        }
+        if self.threads_per == 0 {
+            return Err(Error::Driver("each locality needs at least one scheduler thread".into()));
+        }
+        let transport: Arc<dyn Transport> = match self.transport {
+            Some(t) => t,
+            None => match self.kind {
+                TransportKind::Mpi => {
+                    Arc::new(crate::mpi_sim::MpiTransport::new(self.localities))
+                }
+                TransportKind::Libfabric => {
+                    Arc::new(crate::libfabric_sim::LibfabricTransport::new(self.localities))
+                }
+            },
+        };
+        let net = self.net.unwrap_or_else(|| NetParams::for_kind(transport.kind()));
+        let mut localities = Vec::with_capacity(self.localities);
+        for i in 0..self.localities {
+            let rt = Runtime::with_locality(self.threads_per, i as u32);
             let loc = Arc::new(Locality {
                 rt,
                 actions: ActionRegistry::new(),
                 index: i as u32,
+                n_localities: self.localities,
                 transport: Arc::clone(&transport),
                 pending_calls: Mutex::new(HashMap::new()),
                 next_request: AtomicU64::new(1),
@@ -205,7 +313,69 @@ impl Cluster {
             let idx = loc.index;
             loc.rt.scheduler().register_poller(move || t.progress(idx));
         }
-        Cluster { localities, transport }
+        // One namespaced metrics view over the whole cluster: the
+        // transport's counters under `parcelport/<kind>`, each
+        // locality's runtime counters under `locality/<i>`.
+        let metrics = Arc::new(Metrics::new());
+        metrics.mount(
+            &format!("parcelport/{}", transport.kind().as_str()),
+            Arc::clone(transport.counters()),
+        );
+        for loc in &localities {
+            metrics.mount(
+                &format!("locality/{}", loc.index),
+                Arc::clone(loc.rt.counters()),
+            );
+        }
+        Ok(Cluster { localities, transport, net, metrics })
+    }
+
+    /// Infallible [`ClusterBuilder::try_build`]; panics on an invalid
+    /// configuration.
+    pub fn build(self) -> Cluster {
+        self.try_build().expect("invalid cluster configuration")
+    }
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Build a cluster of `n_localities`, each with `threads_per`
+    /// scheduler threads, connected by `kind`'s transport.
+    #[deprecated(note = "use Cluster::builder()")]
+    pub fn new(n_localities: usize, threads_per: usize, kind: TransportKind) -> Cluster {
+        Cluster::builder()
+            .localities(n_localities)
+            .threads_per(threads_per)
+            .transport(kind)
+            .build()
+    }
+
+    /// Build a cluster over an explicit transport instance.
+    #[deprecated(note = "use Cluster::builder().transport_instance(...)")]
+    pub fn with_transport(
+        n_localities: usize,
+        threads_per: usize,
+        transport: Arc<dyn Transport>,
+    ) -> Cluster {
+        Cluster::builder()
+            .localities(n_localities)
+            .threads_per(threads_per)
+            .transport_instance(transport)
+            .build()
+    }
+
+    /// The cluster-wide namespaced metrics view.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The network cost model this cluster was built with.
+    pub fn net_params(&self) -> NetParams {
+        self.net
     }
 
     /// Number of localities.
@@ -307,7 +477,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn ping_cluster(kind: TransportKind) {
-        let cluster = Cluster::new(3, 2, kind);
+        let cluster = Cluster::builder().localities(3).threads_per(2).transport(kind).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
         cluster.register_action(ActionId(1), move |_rt, _id, payload| {
@@ -337,7 +507,7 @@ mod tests {
     }
 
     fn call_cluster(kind: TransportKind) {
-        let cluster = Cluster::new(2, 2, kind);
+        let cluster = Cluster::builder().localities(2).threads_per(2).transport(kind).build();
         cluster.register_request_handler(ActionId(5), |_rt, _id, x: u64| x * x);
         let loc0 = cluster.locality(0);
         let futs: Vec<Future<u64>> = (0..20)
@@ -361,7 +531,8 @@ mod tests {
 
     #[test]
     fn loopback_send_skips_network() {
-        let cluster = Cluster::new(2, 1, TransportKind::Libfabric);
+        let cluster =
+            Cluster::builder().localities(2).transport(TransportKind::Libfabric).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
         cluster.register_action(ActionId(2), move |_rt, _id, _p| {
@@ -379,7 +550,7 @@ mod tests {
     }
 
     fn migration_forwarding(kind: TransportKind) {
-        let cluster = Cluster::new(3, 2, kind);
+        let cluster = Cluster::builder().localities(3).threads_per(2).transport(kind).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
         cluster.register_action(ActionId(3), move |rt, id, _p| {
@@ -422,7 +593,8 @@ mod tests {
     #[test]
     fn many_parcels_all_delivered() {
         for kind in [TransportKind::Mpi, TransportKind::Libfabric] {
-            let cluster = Cluster::new(4, 2, kind);
+            let cluster =
+                Cluster::builder().localities(4).threads_per(2).transport(kind).build();
             let hits = Arc::new(AtomicUsize::new(0));
             let h = Arc::clone(&hits);
             cluster.register_action(ActionId(4), move |_rt, _id, _p| {
@@ -452,7 +624,7 @@ mod tests {
         for (kind, expect_copies) in
             [(TransportKind::Mpi, true), (TransportKind::Libfabric, false)]
         {
-            let cluster = Cluster::new(2, 1, kind);
+            let cluster = Cluster::builder().localities(2).transport(kind).build();
             cluster.register_action(ActionId(6), |_rt, _id, _p| {});
             cluster.locality(0).send(Parcel {
                 dest_locality: 1,
@@ -468,5 +640,87 @@ mod tests {
                 assert_eq!(copies, 0, "libfabric backend must be zero-copy");
             }
         }
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configurations() {
+        assert!(matches!(
+            Cluster::builder().localities(0).try_build(),
+            Err(Error::Driver(_))
+        ));
+        assert!(matches!(
+            Cluster::builder().threads_per(0).try_build(),
+            Err(Error::Driver(_))
+        ));
+    }
+
+    #[test]
+    fn builder_defaults_and_latency_model() {
+        let cluster = Cluster::builder().build();
+        assert_eq!(cluster.len(), 1);
+        assert_eq!(cluster.transport().kind(), TransportKind::Mpi);
+        assert_eq!(cluster.net_params(), NetParams::mpi_aries());
+        let custom = NetParams::libfabric_aries();
+        let cluster = Cluster::builder()
+            .transport(TransportKind::Libfabric)
+            .latency_model(custom)
+            .build();
+        assert_eq!(cluster.net_params(), custom);
+    }
+
+    #[test]
+    fn try_send_reports_bad_destination() {
+        let cluster = Cluster::builder().localities(2).build();
+        let err = cluster
+            .locality(0)
+            .try_send(Parcel {
+                dest_locality: 7,
+                dest_component: GlobalId(1),
+                action: ActionId(1),
+                payload: Bytes::new(),
+            })
+            .unwrap_err();
+        assert_eq!(err, Error::BadLocality { index: 7, count: 2 });
+        let err = cluster
+            .locality(0)
+            .try_call::<u64, u64>(9, GlobalId(0), ActionId(5), &1)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, Error::BadLocality { index: 9, count: 2 });
+    }
+
+    #[test]
+    fn cluster_metrics_namespace_transport_and_localities() {
+        let cluster = Cluster::builder()
+            .localities(2)
+            .transport(TransportKind::Libfabric)
+            .build();
+        cluster.register_action(ActionId(8), |_rt, _id, _p| {});
+        cluster.locality(0).send(Parcel {
+            dest_locality: 1,
+            dest_component: GlobalId(1),
+            action: ActionId(8),
+            payload: Bytes::from(vec![0u8; 256]),
+        });
+        cluster.wait_quiescent();
+        let m = cluster.metrics();
+        assert_eq!(m.get("parcelport/libfabric/parcels_tx"), 1);
+        assert!(m.get("parcelport/libfabric/bytes_tx") >= 256);
+        let snap = m.snapshot();
+        assert!(snap.contains_key("parcelport/libfabric/parcels/sent"));
+        assert!(
+            snap.keys().any(|k| k.starts_with("locality/0/")),
+            "scheduler counters must appear under locality/<i>"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let cluster = Cluster::new(2, 1, TransportKind::Mpi);
+        assert_eq!(cluster.len(), 2);
+        let t: Arc<dyn Transport> = Arc::new(crate::mpi_sim::MpiTransport::new(2));
+        let cluster = Cluster::with_transport(2, 1, t);
+        assert_eq!(cluster.transport().kind(), TransportKind::Mpi);
     }
 }

@@ -110,6 +110,17 @@ pub fn allreduce_wire(
     allreduce_host(&gathered, op)
 }
 
+/// A quiescence barrier built from the reduction machinery: every
+/// locality contributes `1.0` to a sum-reduce, so returning implies
+/// every locality reached the barrier *and* the fabric drained (the
+/// reduce path ends in [`Cluster::wait_quiescent`]). `barrier_id` must
+/// be fresh per use, like a `reduction_id`.
+pub fn barrier(cluster: &Cluster, collectives: &Arc<Collectives>, barrier_id: u64) {
+    let ones = vec![1.0; cluster.len()];
+    let total = allreduce_wire(cluster, collectives, barrier_id, &ones, |a, b| a + b);
+    assert_eq!(total, cluster.len() as f64, "barrier lost a contribution");
+}
+
 /// Broadcast helper: serialize `value` once and deliver it to every
 /// locality through `action` (which must be registered on all).
 pub fn broadcast<T: Serialize + DeserializeOwned>(
@@ -150,7 +161,8 @@ mod tests {
     #[test]
     fn wire_allreduce_min_over_both_transports() {
         for kind in [TransportKind::Mpi, TransportKind::Libfabric] {
-            let cluster = Cluster::new(4, 2, kind);
+            let cluster =
+                Cluster::builder().localities(4).threads_per(2).transport(kind).build();
             let coll = Collectives::register(&cluster);
             // The distributed CFL pattern: min over per-locality dts.
             let dts = [0.31, 0.12, 0.44, 0.27];
@@ -163,8 +175,21 @@ mod tests {
     }
 
     #[test]
+    fn barrier_completes_on_both_transports() {
+        for kind in [TransportKind::Mpi, TransportKind::Libfabric] {
+            let cluster =
+                Cluster::builder().localities(3).threads_per(2).transport(kind).build();
+            let coll = Collectives::register(&cluster);
+            for id in 1..=3 {
+                barrier(&cluster, &coll, id);
+            }
+        }
+    }
+
+    #[test]
     fn broadcast_reaches_every_locality() {
-        let cluster = Cluster::new(3, 1, TransportKind::Libfabric);
+        let cluster =
+            Cluster::builder().localities(3).transport(TransportKind::Libfabric).build();
         let seen = Arc::new(AtomicUsize::new(0));
         let s = Arc::clone(&seen);
         cluster.register_action(ActionId(0xB0), move |_rt, _id, payload| {

@@ -32,7 +32,7 @@ pub mod netmodel;
 pub mod parcel;
 pub mod serialize;
 
-pub use cluster::{Cluster, Locality};
+pub use cluster::{Cluster, ClusterBuilder, Locality};
 pub use netmodel::{NetParams, TransportKind};
 pub use parcel::{ActionId, ActionRegistry, Parcel};
 pub use serialize::{from_bytes, to_bytes, CodecError};

@@ -32,6 +32,17 @@ pub enum TransportKind {
     Libfabric,
 }
 
+impl TransportKind {
+    /// Stable lowercase name used in metric namespaces
+    /// (`parcelport/<name>/...`) and benchmark JSON keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportKind::Mpi => "mpi",
+            TransportKind::Libfabric => "libfabric",
+        }
+    }
+}
+
 impl std::fmt::Display for TransportKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

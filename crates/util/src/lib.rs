@@ -7,12 +7,14 @@
 //! helpers for `N^3` sub-grids with ghost layers, and streaming statistics
 //! used by the benchmark harnesses.
 
+pub mod error;
 pub mod indexing;
 pub mod morton;
 pub mod stats;
 pub mod units;
 pub mod vec3;
 
+pub use error::{Error, Result};
 pub use indexing::{CellIter, GridIndexer};
 pub use morton::{morton_decode, morton_encode, MortonKey};
 pub use stats::{OnlineStats, RelErr};

@@ -17,6 +17,8 @@ pub struct MortonKey {
     pub code: u64,
 }
 
+serde::impl_codec_struct!(MortonKey { level, code });
+
 impl MortonKey {
     /// 21 levels * 3 bits fit in a u64 with a bit to spare.
     pub const MAX_LEVEL: u8 = 21;

@@ -1,13 +1,28 @@
 #!/usr/bin/env bash
-# FMM performance snapshot: kernel microbenchmarks (quick mode) plus the
-# measured solver throughput / launch-split / scratch numbers, written
-# to BENCH_fmm.json at the repo root.
+# FMM performance snapshot: kernel microbenchmarks (quick mode), the
+# measured solver throughput / launch-split / scratch numbers, and the
+# distributed real-driver transport comparison — all merged into
+# BENCH_fmm.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh [fmm_iters] [driver_steps]
+#
+# Any bench bin exiting non-zero (including a panic) aborts the script
+# with a loud marker so a broken snapshot is never mistaken for a run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+fail() {
+    echo "!! BENCH FAILED: $1 exited non-zero — BENCH_fmm.json is stale" >&2
+    exit 1
+}
+
 echo "== fmm_kernels microbenchmarks (quick) =="
-cargo bench -p bench --bench fmm_kernels -- --quick
+cargo bench -p bench --bench fmm_kernels -- --quick || fail "fmm_kernels"
 
 echo
 echo "== solver throughput snapshot =="
-cargo run --release -p bench --bin fmm_snapshot -- "${1:-3}"
+cargo run --release -p bench --bin fmm_snapshot -- "${1:-3}" || fail "fmm_snapshot"
+
+echo
+echo "== distributed real-driver transport comparison =="
+cargo run --release -p bench --bin fig3_real_solver -- "${2:-1}" || fail "fig3_real_solver"

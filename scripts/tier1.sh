@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   1. release build of the whole workspace (bins + benches included)
+#   2. the full test suite in quiet mode
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo
+echo "tier-1 green"

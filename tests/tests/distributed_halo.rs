@@ -42,7 +42,7 @@ fn exchange_over(kind: TransportKind) {
         a.set(Field::Rho, i, j, k, (100 * i + 10 * j + k) as f64 + 0.5);
     }
 
-    let cluster = Cluster::new(2, 2, kind);
+    let cluster = Cluster::builder().localities(2).threads_per(2).transport(kind).build();
     let received: Arc<Mutex<Option<HaloMsg>>> = Arc::new(Mutex::new(None));
     let sink = Arc::clone(&received);
     cluster.register_action(ActionId(7), move |_rt, _id, payload: Bytes| {
@@ -96,7 +96,7 @@ fn all_26_directions_roundtrip_over_the_wire() {
     for (i, j, k) in a.indexer().interior() {
         a.set(Field::Egas, i, j, k, ((i * 31 + j * 7 + k) as f64).sin());
     }
-    let cluster = Cluster::new(2, 1, TransportKind::Libfabric);
+    let cluster = Cluster::builder().localities(2).transport(TransportKind::Libfabric).build();
     let got: Arc<Mutex<Vec<HaloMsg>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&got);
     cluster.register_action(ActionId(8), move |_rt, _id, payload: Bytes| {
