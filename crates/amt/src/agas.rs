@@ -65,6 +65,7 @@ pub struct Agas {
 }
 
 impl Agas {
+    /// An empty registry for `locality` (sequence numbers start at 1).
     pub fn new(locality: u32) -> Agas {
         Agas {
             locality,

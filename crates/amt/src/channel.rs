@@ -44,6 +44,7 @@ impl<T: Send + 'static> Default for Channel<T> {
 }
 
 impl<T: Send + 'static> Channel<T> {
+    /// An empty open channel.
     pub fn new() -> Self {
         Channel {
             inner: Arc::new(Mutex::new(ChannelInner {

@@ -23,6 +23,7 @@ pub struct CounterRegistry {
 }
 
 impl CounterRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }

@@ -26,9 +26,14 @@
 //! * [`agas`] — a global id → component registry with migration support.
 //! * [`counters`] — named atomic counters, queried like HPX performance
 //!   counters.
+//! * [`trace`] — APEX-style span tracing: per-worker timelines recorded
+//!   into thread-local ring buffers, exported as chrome://tracing JSON
+//!   (see DESIGN.md §4 "Observability").
 //!
 //! The whole distributed layer (`parcelport` crate) and the GPU layer
 //! (`gpusim` crate) are built on these primitives, as in the paper.
+
+#![warn(missing_docs)]
 
 pub mod agas;
 pub mod channel;
@@ -36,6 +41,7 @@ pub mod counters;
 pub mod future;
 pub mod metrics;
 pub mod scheduler;
+pub mod trace;
 
 pub use agas::{Agas, GlobalId};
 pub use channel::Channel;
@@ -43,6 +49,7 @@ pub use counters::CounterRegistry;
 pub use future::{make_ready_future, when_all, Future, Promise};
 pub use metrics::{Counter, Metrics};
 pub use scheduler::Scheduler;
+pub use trace::{Trace, TraceCategory, TraceGuard, TraceSession};
 
 use std::sync::Arc;
 

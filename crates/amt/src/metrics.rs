@@ -14,6 +14,25 @@
 //! Resolution is longest-prefix: `metrics.counter("parcelport/mpi/x")`
 //! writes the `x` counter of whatever registry is mounted at
 //! `parcelport/mpi`, and plain names go to the facade's own registry.
+//!
+//! # Example
+//!
+//! ```
+//! use amt::{CounterRegistry, Metrics};
+//! use std::sync::Arc;
+//!
+//! let metrics = Metrics::new();
+//! let transport = Arc::new(CounterRegistry::new());
+//! metrics.mount("parcelport/mpi", Arc::clone(&transport));
+//!
+//! metrics.counter("parcelport/mpi/bytes_tx").add(128); // → transport's "bytes_tx"
+//! metrics.increment("driver/steps");                   // → own registry
+//!
+//! assert_eq!(transport.get("bytes_tx"), 128);
+//! let snapshot = metrics.snapshot();
+//! assert_eq!(snapshot["parcelport/mpi/bytes_tx"], 128);
+//! assert_eq!(snapshot["driver/steps"], 1);
+//! ```
 
 use crate::counters::CounterRegistry;
 use parking_lot::RwLock;

@@ -22,8 +22,32 @@
 //!    pollers between tasks (see [`Scheduler::register_poller`]); the
 //!    libfabric parcelport integrates network-completion polling into the
 //!    scheduling loop exactly this way (§6.3).
+//!
+//! When a [`crate::trace::TraceSession`] is active, workers additionally
+//! record APEX-style span events: one `sched/task` span per executed
+//! task, `sched/spawn`/`sched/steal` instants, and coalesced
+//! `sched/idle` spans covering park/poll stretches — the raw material
+//! for the per-worker timelines and idle-rate counters of DESIGN.md §4.
+//!
+//! # Example
+//!
+//! ```
+//! use amt::{CounterRegistry, Scheduler};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let sched = Scheduler::new(2, Arc::new(CounterRegistry::new()));
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..8 {
+//!     let hits = Arc::clone(&hits);
+//!     sched.spawn(move || { hits.fetch_add(1, Ordering::Relaxed); });
+//! }
+//! sched.wait_quiescent();
+//! assert_eq!(hits.load(Ordering::Relaxed), 8);
+//! ```
 
 use crate::counters::CounterRegistry;
+use crate::trace::{self, TraceCategory};
 use crossbeam_deque::{Injector, Stealer, Worker as WorkerDeque};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
@@ -50,6 +74,7 @@ struct Shared {
     poller_snapshot: AtomicU64,
     counters: Arc<CounterRegistry>,
     sched_id: u64,
+    worker_trace_ids: Mutex<Vec<u32>>,
 }
 
 thread_local! {
@@ -95,6 +120,7 @@ impl Scheduler {
             poller_snapshot: AtomicU64::new(0),
             counters,
             sched_id,
+            worker_trace_ids: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(n_threads);
         for (index, deque) in deques.into_iter().enumerate() {
@@ -148,6 +174,7 @@ impl Scheduler {
         if let Some(task) = pushed_local {
             self.shared.injector.push(task);
         }
+        trace::instant(TraceCategory::TaskSpawn);
         self.shared.counters.increment("tasks/spawned");
         // Wake one parked worker; cheap if none are parked.
         self.shared.wakeup.notify_one();
@@ -215,6 +242,16 @@ impl Scheduler {
         self.shared.in_flight.load(Ordering::SeqCst)
     }
 
+    /// Trace ids ([`crate::trace::current_tid`]) of this scheduler's
+    /// worker threads, in no particular order. A worker registers its
+    /// id when its thread starts, so ids may still be missing in the
+    /// first instants after [`Scheduler::new`]; after any task has run
+    /// on every worker the list is complete. Used by trace consumers to
+    /// attribute per-worker events to a specific scheduler.
+    pub fn worker_trace_ids(&self) -> Vec<u32> {
+        self.shared.worker_trace_ids.lock().clone()
+    }
+
     /// Signal shutdown and join all worker threads. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -257,6 +294,7 @@ fn run_task_impl(shared: &Shared, task: Task) {
         }
     }
     let _guard = InFlightGuard(shared);
+    let _span = trace::span(TraceCategory::TaskRun);
     task();
 }
 
@@ -296,6 +334,7 @@ fn find_task_impl(shared: &Shared, local: Option<&WorkerDeque<Task>>) -> Option<
         loop {
             match stealer.steal() {
                 crossbeam_deque::Steal::Success(t) => {
+                    trace::instant(TraceCategory::TaskSteal);
                     shared.counters.increment("tasks/stolen");
                     return Some(t);
                 }
@@ -307,10 +346,22 @@ fn find_task_impl(shared: &Shared, local: Option<&WorkerDeque<Task>>) -> Option<
     None
 }
 
+/// Longest single `sched/idle` span recorded before it is closed and a
+/// fresh one opened: bounds how much idle time a still-open span can
+/// hide from a session that ends mid-idle.
+const IDLE_SPAN_FLUSH_NS: u64 = 25_000_000;
+
 fn worker_main(shared: Arc<Shared>, index: usize, deque: WorkerDeque<Task>) {
     LOCAL.with(|l| {
         *l.borrow_mut() = Some(LocalCtx { sched_id: shared.sched_id, worker_index: index, deque });
     });
+    let trace_tid =
+        trace::register_thread(shared.sched_id as u32, &format!("worker-{index}"));
+    shared.worker_trace_ids.lock().push(trace_tid);
+    // Start of the current idle stretch (no runnable task found), if
+    // tracing is on. Closed into one coalesced `sched/idle` span when
+    // the next task arrives, so park/poll churn does not flood the ring.
+    let mut idle_since: Option<u64> = None;
     loop {
         let task = LOCAL.with(|l| {
             let borrow = l.borrow();
@@ -318,8 +369,22 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: WorkerDeque<Task>) {
             find_task_impl(&shared, Some(&ctx.deque))
         });
         match task {
-            Some(t) => run_task_impl(&shared, t),
+            Some(t) => {
+                if let Some(t0) = idle_since.take() {
+                    trace::record_raw(TraceCategory::Idle, None, t0, trace::now_ns() - t0);
+                }
+                run_task_impl(&shared, t)
+            }
             None => {
+                match idle_since {
+                    None if trace::enabled() => idle_since = Some(trace::now_ns()),
+                    Some(t0) if trace::now_ns() - t0 > IDLE_SPAN_FLUSH_NS => {
+                        let now = trace::now_ns();
+                        trace::record_raw(TraceCategory::Idle, None, t0, now - t0);
+                        idle_since = if trace::enabled() { Some(now) } else { None };
+                    }
+                    _ => {}
+                }
                 if poll_background_impl(&shared) {
                     continue;
                 }

@@ -12,7 +12,8 @@
 //! * the wire traffic actually generated (bytes / parcels from the
 //!   `parcelport/<kind>/...` metrics namespace), and
 //! * the *modeled* communication time of that traffic under the
-//!   Aries-calibrated [`NetParams`] cost model, since on a single host
+//!   Aries-calibrated [`NetParams`](parcelport::netmodel::NetParams)
+//!   cost model, since on a single host
 //!   both simulated transports move bytes at memcpy speed and the
 //!   measured ratio reflects CPU-side protocol overhead only.
 //!
@@ -166,65 +167,6 @@ fn main() {
     section.push_str("  }");
 
     let path = "BENCH_fmm.json";
-    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    let body = remove_key(&body, "\"real_driver\"");
-    let close = body.rfind('}').expect("BENCH_fmm.json has no closing brace");
-    // Whether anything precedes us inside the object decides the comma.
-    let has_fields = body[..close].trim_end().trim_end_matches('\n').ends_with(['}', '"'])
-        || body[..close].contains(':');
-    let mut out = String::with_capacity(body.len() + section.len() + 4);
-    out.push_str(body[..close].trim_end());
-    if has_fields {
-        out.push(',');
-    }
-    out.push('\n');
-    out.push_str(&section);
-    out.push_str("\n}\n");
-    std::fs::write(path, &out).expect("write BENCH_fmm.json");
+    bench::merge_json_section(path, "real_driver", &section);
     println!("merged \"real_driver\" into {path}");
-}
-
-/// Drop `key` (and its value, object or scalar) from a flat-ish JSON
-/// object body, comma included. Brace-counting, not a parser — good
-/// enough for the JSON this workspace hand-writes.
-fn remove_key(body: &str, key: &str) -> String {
-    let Some(start) = body.find(key) else {
-        return body.to_string();
-    };
-    let after_key = &body[start..];
-    let colon = after_key.find(':').expect("key without value");
-    let value = after_key[colon + 1..].trim_start();
-    let value_off = start + colon + 1 + (after_key[colon + 1..].len() - value.len());
-    let end = if value.starts_with('{') {
-        let mut depth = 0usize;
-        let mut end = value_off;
-        for (i, c) in body[value_off..].char_indices() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = value_off + i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        end
-    } else {
-        value_off
-            + body[value_off..]
-                .find([',', '\n', '}'])
-                .unwrap_or(body.len() - value_off)
-    };
-    // Swallow the comma that attached this entry (before or after).
-    let mut head = body[..start].trim_end().to_string();
-    let mut tail = body[end..].trim_start();
-    if tail.starts_with(',') {
-        tail = tail[1..].trim_start();
-    } else if head.ends_with(',') {
-        head.pop();
-    }
-    format!("{head}\n{tail}")
 }

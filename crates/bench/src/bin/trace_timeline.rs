@@ -1,0 +1,212 @@
+//! APEX-style per-worker task timeline → `trace_timeline.json`
+//! (loadable in chrome://tracing or Perfetto) plus the `"trace"`
+//! section of `BENCH_fmm.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Timeline** — a level-2 self-gravitating star run under an
+//!    [`amt::trace`] session: the full span timeline (per-worker task
+//!    runs, FMM stages, hydro RHS, halo fills, idle gaps) is exported
+//!    as trace-event JSON and summarised per category.
+//! 2. **Overhead** — the same run and a 2-locality distributed star
+//!    run, each timed with tracing off and on. The distributed pair is
+//!    additionally checked bit-identical (per-step dt and the full
+//!    assembled state), since spans must only observe, never perturb.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin trace_timeline [steps] [out.json]
+//! ```
+
+use amt::trace::{Trace, TraceCategory, TraceSession};
+use octotiger::{DistributedDriver, Scenario, Simulation};
+use octree::subgrid::ALL_FIELDS;
+use octree::tree::Octree;
+use parcelport::cluster::Cluster;
+use parcelport::netmodel::TransportKind;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bit-exact digest of every grid-carrying node's interior, so traced
+/// and untraced runs can be compared without holding both trees. Each
+/// (node, field) gets an FNV-1a hash over its raw f64 bits, keyed by
+/// the node's debug name; the per-entry hashes are combined with a
+/// commutative sum because `level_keys` iteration order is not stable
+/// across tree instances.
+fn state_digest(tree: &Octree) -> u64 {
+    let mut total: u64 = 0;
+    for level in 0..=tree.max_level() {
+        for key in tree.level_keys(level) {
+            let Some(grid) = tree.node(key).and_then(|n| n.grid.as_ref()) else {
+                continue;
+            };
+            let name = format!("{key:?}");
+            for (f, field) in ALL_FIELDS.into_iter().enumerate() {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h ^= f as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+                for (i, j, k) in grid.indexer().interior() {
+                    h ^= grid.at(field, i, j, k).to_bits();
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                total = total.wrapping_add(h);
+            }
+        }
+    }
+    total
+}
+
+/// One single-node run: wall seconds, per-step dt bits, state digest,
+/// and (when `traced`) the drained trace.
+fn run_single(steps: usize, traced: bool) -> (f64, Vec<u64>, u64, Option<Trace>) {
+    let mut sim = Simulation::new(Scenario::single_star(2));
+    let session = traced.then(TraceSession::begin);
+    let t0 = Instant::now();
+    let dts: Vec<u64> = (0..steps).map(|_| sim.step().to_bits()).collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let trace = session.map(TraceSession::end);
+    (wall, dts, state_digest(sim.tree()), trace)
+}
+
+/// One distributed run over a 2-locality libfabric cluster.
+fn run_distributed(steps: usize, traced: bool) -> (f64, Vec<u64>, u64, Option<Trace>) {
+    let cluster = Arc::new(
+        Cluster::builder()
+            .localities(2)
+            .threads_per(2)
+            .transport(TransportKind::Libfabric)
+            .build(),
+    );
+    let mut driver =
+        DistributedDriver::new(Scenario::single_star(2), cluster).expect("distributed driver");
+    let session = traced.then(TraceSession::begin);
+    let t0 = Instant::now();
+    let dts: Vec<u64> =
+        (0..steps).map(|_| driver.step().expect("step").to_bits()).collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let trace = session.map(TraceSession::end);
+    (wall, dts, state_digest(&driver.assemble()), trace)
+}
+
+/// Which coarse bucket a category contributes to in the E11 breakdown.
+fn bucket(cat: TraceCategory) -> Option<&'static str> {
+    use TraceCategory::*;
+    Some(match cat {
+        FmmP2M | FmmM2M | FmmSameLevel | FmmL2L | FmmLeafAssembly | GpuLaunch => "fmm",
+        HydroRhs | HydroApply => "hydro",
+        HaloFill | HaloExchange | MomentExchange | ParcelSend | ParcelRecv => "halo",
+        Idle => "idle",
+        _ => return None, // Step/GravitySolve/... nest over the above.
+    })
+}
+
+fn overhead_percent(off: f64, on: f64) -> f64 {
+    (on - off) / off * 100.0
+}
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "trace_timeline.json".into());
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("task timeline (single_star level 2, {steps} step(s), {host_cpus} host CPUs)");
+    println!("{}", "-".repeat(72));
+
+    // Timeline + single-node overhead. Untraced first so the traced run
+    // cannot warm caches for it.
+    let (wall_off, dts_off, digest_off, _) = run_single(steps, false);
+    let (wall_on, dts_on, digest_on, trace) = run_single(steps, true);
+    let trace = trace.expect("traced run returns a trace");
+    assert_eq!(dts_off, dts_on, "tracing changed a dt");
+    assert_eq!(digest_off, digest_on, "tracing changed the state");
+    let single_overhead = overhead_percent(wall_off, wall_on);
+
+    std::fs::write(&out_path, trace.export_chrome_json())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    let summary: Vec<_> = trace.summary().into_iter().filter(|s| s.count > 0).collect();
+    println!(
+        "{:<18} {:>8} {:>12} {:>12}",
+        "category", "count", "total ms", "max µs"
+    );
+    for s in &summary {
+        println!(
+            "{:<18} {:>8} {:>12.3} {:>12.1}",
+            s.cat.as_str(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e3
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "events {}  dropped {}  wall {:.1} ms  idle rate {}‰",
+        trace.events.len(),
+        trace.dropped,
+        trace.wall_ns() as f64 / 1e6,
+        trace.idle_rate_permille()
+    );
+    println!("single-node overhead: {single_overhead:+.2}% wall-clock");
+
+    // Distributed overhead + bit-identity.
+    let (dwall_off, ddts_off, ddigest_off, _) = run_distributed(steps, false);
+    let (dwall_on, ddts_on, ddigest_on, _) = run_distributed(steps, true);
+    let bit_identical = ddts_off == ddts_on && ddigest_off == ddigest_on;
+    assert!(bit_identical, "tracing perturbed the distributed run");
+    let dist_overhead = overhead_percent(dwall_off, dwall_on);
+    println!("distributed overhead: {dist_overhead:+.2}% wall-clock (bit-identical: {bit_identical})");
+    println!("wrote {out_path}");
+
+    // Merge the "trace" section into BENCH_fmm.json.
+    let busy_ns: u64 = summary
+        .iter()
+        .filter(|s| bucket(s.cat).is_some_and(|b| b != "idle"))
+        .map(|s| s.total_ns)
+        .sum();
+    let mut section = String::new();
+    section.push_str("  \"trace\": {\n");
+    let _ = writeln!(section, "    \"scenario\": \"single_star\",");
+    let _ = writeln!(section, "    \"level\": 2,");
+    let _ = writeln!(section, "    \"steps\": {steps},");
+    let _ = writeln!(section, "    \"host_cpus\": {host_cpus},");
+    let _ = writeln!(section, "    \"events\": {},", trace.events.len());
+    let _ = writeln!(section, "    \"dropped\": {},", trace.dropped);
+    let _ = writeln!(section, "    \"wall_ms\": {:.3},", trace.wall_ns() as f64 / 1e6);
+    let _ = writeln!(section, "    \"idle_rate_permille\": {},", trace.idle_rate_permille());
+    let _ = writeln!(section, "    \"overhead_percent\": {single_overhead:.2},");
+    let _ = writeln!(section, "    \"distributed_overhead_percent\": {dist_overhead:.2},");
+    let _ = writeln!(section, "    \"bit_identical\": {bit_identical},");
+    for (name, b) in [("fmm_ms", "fmm"), ("hydro_ms", "hydro"), ("halo_ms", "halo"), ("idle_ms", "idle")]
+    {
+        let ns: u64 = summary
+            .iter()
+            .filter(|s| bucket(s.cat) == Some(b))
+            .map(|s| s.total_ns)
+            .sum();
+        let _ = writeln!(section, "    \"{name}\": {:.3},", ns as f64 / 1e6);
+    }
+    let _ = writeln!(section, "    \"busy_ms\": {:.3},", busy_ns as f64 / 1e6);
+    let _ = writeln!(section, "    \"categories\": {{");
+    for (i, s) in summary.iter().enumerate() {
+        let comma = if i + 1 == summary.len() { "" } else { "," };
+        let _ = writeln!(
+            section,
+            "      \"{}\": {{ \"count\": {}, \"total_ms\": {:.3}, \"max_us\": {:.1} }}{comma}",
+            s.cat.as_str(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e3
+        );
+    }
+    section.push_str("    }\n  }");
+    bench::merge_json_section("BENCH_fmm.json", "trace", &section);
+    println!("merged \"trace\" into BENCH_fmm.json");
+}

@@ -1,1 +1,103 @@
 //! Benchmark harness support.
+//!
+//! Each bin under `src/bin` measures one figure/table of the paper and
+//! merges its numbers into `BENCH_fmm.json`. The JSON plumbing is
+//! hand-rolled (the offline workspace has no serde_json) and shared
+//! here so every bin splices its section the same way.
+
+/// Merge `section` — pre-rendered `  "name": { ... }` text with no
+/// trailing comma or newline — into the top-level JSON object at
+/// `path`, replacing any existing `"name"` entry. Missing files start
+/// as an empty object.
+pub fn merge_json_section(path: &str, name: &str, section: &str) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let body = remove_key(&body, &format!("\"{name}\""));
+    let close = body
+        .rfind('}')
+        .unwrap_or_else(|| panic!("{path} has no closing brace"));
+    // Whether anything precedes us inside the object decides the comma.
+    let has_fields = body[..close].trim_end().trim_end_matches('\n').ends_with(['}', '"'])
+        || body[..close].contains(':');
+    let mut out = String::with_capacity(body.len() + section.len() + 4);
+    out.push_str(body[..close].trim_end());
+    if has_fields {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(section);
+    out.push_str("\n}\n");
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+/// Drop `key` (and its value, object or scalar) from a flat-ish JSON
+/// object body, comma included. Brace-counting, not a parser — good
+/// enough for the JSON this workspace hand-writes.
+fn remove_key(body: &str, key: &str) -> String {
+    let Some(start) = body.find(key) else {
+        return body.to_string();
+    };
+    let after_key = &body[start..];
+    let colon = after_key.find(':').expect("key without value");
+    let value = after_key[colon + 1..].trim_start();
+    let value_off = start + colon + 1 + (after_key[colon + 1..].len() - value.len());
+    let end = if value.starts_with('{') {
+        let mut depth = 0usize;
+        let mut end = value_off;
+        for (i, c) in body[value_off..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = value_off + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end
+    } else {
+        value_off
+            + body[value_off..]
+                .find([',', '\n', '}'])
+                .unwrap_or(body.len() - value_off)
+    };
+    // Swallow the comma that attached this entry (before or after).
+    let mut head = body[..start].trim_end().to_string();
+    let mut tail = body[end..].trim_start();
+    if tail.starts_with(',') {
+        tail = tail[1..].trim_start();
+    } else if head.ends_with(',') {
+        head.pop();
+    }
+    format!("{head}\n{tail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::remove_key;
+
+    #[test]
+    fn remove_object_valued_key() {
+        let body = "{\n  \"a\": { \"x\": 1 },\n  \"b\": 2\n}\n";
+        let out = remove_key(body, "\"a\"");
+        assert!(!out.contains("\"a\""));
+        assert!(out.contains("\"b\": 2"));
+    }
+
+    #[test]
+    fn remove_scalar_key_swallows_leading_comma() {
+        let body = "{\n  \"a\": 1,\n  \"b\": 2\n}\n";
+        let out = remove_key(body, "\"b\"");
+        assert!(out.contains("\"a\": 1"));
+        assert!(!out.contains("\"b\""));
+        assert!(!out.trim_end().trim_end_matches('}').trim_end().ends_with(','));
+    }
+
+    #[test]
+    fn remove_missing_key_is_identity() {
+        let body = "{\n  \"a\": 1\n}\n";
+        assert_eq!(remove_key(body, "\"zzz\""), body);
+    }
+}

@@ -9,10 +9,10 @@
 //! shard, and talks to the other shards only through typed parcels over
 //! the configured transport (MPI-sim or libfabric-sim):
 //!
-//! * [`HALO_ACTION`] — a [`GridMsg`] carrying one leaf's interior cells
+//! * [`HALO_ACTION`] — a `GridMsg` carrying one leaf's interior cells
 //!   (the halo *push*: sources ship interiors, receivers re-run the
 //!   ghost fill locally),
-//! * [`MOMENT_ACTION`] — a [`MomentMsg`] carrying one leaf's P2M
+//! * [`MOMENT_ACTION`] — a `MomentMsg` carrying one leaf's P2M
 //!   multipole moments (the FMM boundary exchange: every locality
 //!   rebuilds the full moment tree from the broadcast leaf moments and
 //!   solves only its own targets),
@@ -44,6 +44,7 @@
 use crate::config::Config;
 use crate::driver::{apply_stage1, apply_stage2, leaf_rhs, leaf_signal_dt};
 use crate::scenario::Scenario;
+use amt::trace::{self, TraceCategory};
 use amt::{when_all, Counter, GlobalId};
 use gravity::multipole::Multipole;
 use gravity::solver::{leaf_moments, moments_from_leaf_moments, FmmSolver, GravityField};
@@ -241,6 +242,7 @@ impl DistributedDriver {
     /// cross-shard interiors those fills sample were pushed by the last
     /// interior exchange; at t = 0 the mirrors are exact clones).
     fn fill_owned_halos(&mut self, bc: BoundaryCondition) {
+        let _span = trace::span(TraceCategory::HaloFill);
         for loc in 0..self.cluster.len() {
             fill_halos_for_leaves(
                 &mut self.mirrors[loc],
@@ -277,6 +279,7 @@ impl DistributedDriver {
         let Some(solver) = self.solver.clone() else {
             return Ok(vec![None; n]);
         };
+        let exchange_span = trace::span(TraceCategory::MomentExchange);
         // P2M on owned leaves.
         let mut own: Vec<HashMap<MortonKey, Arc<Vec<Multipole>>>> = Vec::with_capacity(n);
         for loc in 0..n {
@@ -313,6 +316,8 @@ impl DistributedDriver {
             }
         }
         self.cluster.wait_quiescent();
+        drop(exchange_span);
+        let _solve_span = trace::span(TraceCategory::GravitySolve);
         // Rebuild the full moment tree per locality and solve the shard.
         let mut fields = Vec::with_capacity(n);
         for (loc, mut leaf_map) in own.into_iter().enumerate() {
@@ -366,6 +371,8 @@ impl DistributedDriver {
                 let stepper = self.stepper;
                 let frame = self.frame;
                 futs.push(rt.async_call(move || {
+                    let _span =
+                        trace::span_labeled(TraceCategory::HydroRhs, || format!("{key:?}"));
                     (key, leaf_rhs(&tree, key, g.as_deref(), stepper, frame))
                 }));
             }
@@ -388,6 +395,7 @@ impl DistributedDriver {
     /// Push every cross-shard halo source's interior per the static
     /// plan, then apply inbound interiors sorted by key.
     fn exchange_interiors(&mut self) -> Result<()> {
+        let _span = trace::span(TraceCategory::HaloExchange);
         let n = self.cluster.len();
         for src in 0..n {
             for dst in 0..n as u32 {
@@ -490,6 +498,8 @@ impl DistributedDriver {
     /// exchange → owned ghost fill → moment exchange + FMM → stage-2
     /// RHS/apply → interior exchange → quiescence barrier.
     pub fn step(&mut self) -> Result<f64> {
+        let _step_span =
+            trace::span_labeled(TraceCategory::Step, || format!("step {}", self.steps));
         let bc = self.config.bc;
         let floors = self.config.floors;
         let n = self.cluster.len();
@@ -500,10 +510,12 @@ impl DistributedDriver {
         // chunks) min-reduced over the wire — bit-equal to the global
         // ordered fold because f64::min is associative on the positive
         // finite dts.
-        let local_dts: Vec<f64> = (0..n).map(|loc| self.local_min_dt(loc)).collect();
-        let seq = self.next_seq();
-        let dt =
-            collectives::allreduce_wire(&self.cluster, &self.coll, seq, &local_dts, f64::min);
+        let dt = {
+            let _span = trace::span(TraceCategory::DtReduce);
+            let local_dts: Vec<f64> = (0..n).map(|loc| self.local_min_dt(loc)).collect();
+            let seq = self.next_seq();
+            collectives::allreduce_wire(&self.cluster, &self.coll, seq, &local_dts, f64::min)
+        };
         if !(dt.is_finite() && dt > 0.0) {
             return Err(Error::Driver(format!("CFL produced dt = {dt}")));
         }
@@ -525,8 +537,11 @@ impl DistributedDriver {
         // fabric drains before the step is declared done. (Mirrors skip
         // the per-step restrict_all — refined-node grids are derived
         // data no step phase reads; `assemble` restricts once.)
-        let seq = self.next_seq();
-        collectives::barrier(&self.cluster, &self.coll, seq);
+        {
+            let _span = trace::span(TraceCategory::Barrier);
+            let seq = self.next_seq();
+            collectives::barrier(&self.cluster, &self.coll, seq);
+        }
 
         self.time += dt;
         self.steps += 1;

@@ -9,6 +9,7 @@
 
 use crate::config::Config;
 use crate::scenario::Scenario;
+use amt::trace::{self, TraceCategory};
 use amt::{when_all, Future, Runtime};
 use gravity::solver::{FmmSolver, GravityField};
 use hydro::flux::StateVec;
@@ -169,9 +170,10 @@ impl Simulation {
     /// Runs the futurized FMM walk — bit-identical to the serial solve
     /// at any thread count.
     pub fn solve_gravity(&self) -> Option<Arc<GravityField>> {
-        self.solver
-            .as_ref()
-            .map(|s| Arc::new(s.solve_parallel(&self.tree, &self.rt)))
+        self.solver.as_ref().map(|s| {
+            let _span = trace::span(TraceCategory::GravitySolve);
+            Arc::new(s.solve_parallel(&self.tree, &self.rt))
+        })
     }
 
     fn tree_mut(&mut self) -> &mut Octree {
@@ -182,6 +184,7 @@ impl Simulation {
     /// task per leaf. `when_all` returns results in leaf order and the
     /// fold is ordered, so the reduction is deterministic.
     pub fn compute_dt(&self) -> f64 {
+        let _span = trace::span(TraceCategory::DtReduce);
         let leaves = self.tree.leaves();
         let mut futs = Vec::with_capacity(leaves.len());
         for key in leaves {
@@ -211,6 +214,7 @@ impl Simulation {
             let stepper = self.stepper;
             let frame = self.frame;
             futures.push(self.rt.async_call(move || {
+                let _span = trace::span_labeled(TraceCategory::HydroRhs, || format!("{key:?}"));
                 (key, leaf_rhs(&tree, key, grav.as_deref(), stepper, frame))
             }));
         }
@@ -228,9 +232,14 @@ impl Simulation {
 
     /// Advance one TVD-RK2 step; returns the dt taken.
     pub fn step(&mut self) -> f64 {
+        let _step_span =
+            trace::span_labeled(TraceCategory::Step, || format!("step {}", self.steps));
         let bc = self.config.bc;
         let floors = self.config.floors;
-        fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
+        {
+            let _span = trace::span(TraceCategory::HaloFill);
+            fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
+        }
         let dt = self.compute_dt();
         assert!(dt.is_finite() && dt > 0.0, "CFL produced dt = {dt}");
 
@@ -239,6 +248,7 @@ impl Simulation {
         let rhs1 = self.parallel_rhs(grav);
         let mut old: HashMap<MortonKey, SubGrid> = HashMap::new();
         {
+            let _span = trace::span(TraceCategory::HydroApply);
             let stepper = self.stepper;
             let tree = self.tree_mut();
             for (key, rhs) in &rhs1 {
@@ -249,10 +259,14 @@ impl Simulation {
         }
 
         // Stage 2.
-        fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
+        {
+            let _span = trace::span(TraceCategory::HaloFill);
+            fill_all_halos_parallel(&mut self.tree, bc, &self.rt);
+        }
         let grav2 = self.solve_gravity();
         let rhs2 = self.parallel_rhs(grav2);
         {
+            let _span = trace::span(TraceCategory::HydroApply);
             let stepper = self.stepper;
             let tree = self.tree_mut();
             for (key, rhs) in &rhs2 {

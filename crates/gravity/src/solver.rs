@@ -40,6 +40,7 @@ use crate::kernels::{
 use crate::multipole::Multipole;
 use crate::scratch::ScratchPool;
 use crate::stencil::Stencil;
+use amt::trace::{self, TraceCategory};
 use amt::{when_all, Runtime};
 use octree::subgrid::{Field, N_SUB};
 use octree::tree::Octree;
@@ -392,9 +393,14 @@ impl FmmSolver {
             for key in tree.level_keys(level) {
                 let tree = Arc::clone(tree);
                 let snap = Arc::clone(&snapshot);
-                futs.push(
-                    rt.async_call(move || (key, Arc::new(compute_node_moments(&tree, &snap, key)))),
-                );
+                futs.push(rt.async_call(move || {
+                    // Leaves run P2M (point masses from grid cells),
+                    // refined nodes reduce child moments (M2M).
+                    let refined = tree.node(key).map(|n| n.refined).unwrap_or(false);
+                    let cat = if refined { TraceCategory::FmmM2M } else { TraceCategory::FmmP2M };
+                    let _span = trace::span_labeled(cat, || format!("{key:?}"));
+                    (key, Arc::new(compute_node_moments(&tree, &snap, key)))
+                }));
             }
             for (key, cells) in when_all(&sched, futs).get_help(&sched) {
                 moments.insert(key, cells);
@@ -532,7 +538,14 @@ impl FmmSolver {
             Some(ctx) => {
                 let slot = Arc::new(Mutex::new(None));
                 let s = Arc::clone(&slot);
+                let mut span = trace::span(TraceCategory::GpuLaunch);
                 let site = ctx.run(worker, move || *s.lock() = Some(f()));
+                // Only keep the span when the launch actually went to
+                // the simulated GPU; CPU fallbacks are timed by their
+                // enclosing pass span.
+                if site != LaunchSite::Gpu {
+                    span.cancel();
+                }
                 let value = slot.lock().take().expect("kernel executed");
                 (value, site)
             }
@@ -673,6 +686,7 @@ impl FmmSolver {
             let moments = Arc::clone(moments);
             let sched = Arc::clone(&sched);
             futs.push(rt.async_call(move || {
+                let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || format!("{key:?}"));
                 let worker = sched.current_worker();
                 let (out, interactions, gpu, cpu) =
                     solver.same_level_node(&tree, &moments, key, worker);
@@ -705,6 +719,8 @@ impl FmmSolver {
                 let moments = Arc::clone(moments);
                 let same = Arc::clone(&same);
                 futs.push(rt.async_call(move || {
+                    let _span =
+                        trace::span_labeled(TraceCategory::FmmL2L, || format!("{key:?}"));
                     downward_node(&moments, &same, key, own_inh.as_ref())
                 }));
             }
@@ -723,6 +739,8 @@ impl FmmSolver {
             let moments = Arc::clone(moments);
             let same = Arc::clone(&same);
             futs.push(rt.async_call(move || {
+                let _span =
+                    trace::span_labeled(TraceCategory::FmmLeafAssembly, || format!("{key:?}"));
                 let vol = domain.cell_volume(key.level);
                 (
                     key,
@@ -811,6 +829,7 @@ impl FmmSolver {
             let moments = Arc::clone(moments);
             let sched = Arc::clone(&sched);
             futs.push(rt.async_call(move || {
+                let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || format!("{key:?}"));
                 let worker = sched.current_worker();
                 let (out, interactions, gpu, cpu) =
                     solver.same_level_node(&tree, &moments, key, worker);
@@ -843,6 +862,8 @@ impl FmmSolver {
                 let moments = Arc::clone(moments);
                 let same = Arc::clone(&same);
                 futs.push(rt.async_call(move || {
+                    let _span =
+                        trace::span_labeled(TraceCategory::FmmL2L, || format!("{key:?}"));
                     downward_node(&moments, &same, key, own_inh.as_ref())
                 }));
             }
@@ -860,6 +881,8 @@ impl FmmSolver {
             let moments = Arc::clone(moments);
             let same = Arc::clone(&same);
             futs.push(rt.async_call(move || {
+                let _span =
+                    trace::span_labeled(TraceCategory::FmmLeafAssembly, || format!("{key:?}"));
                 let vol = domain.cell_volume(key.level);
                 (
                     key,

@@ -3,7 +3,7 @@
 //! "Octo-Tiger uses the central advection scheme of [Kurganov & Tadmor
 //! 2000]. The piece-wise parabolic method (PPM) is used to compute the
 //! thermodynamic variables at cell faces. ... We use the dual-energy
-//! formalism of [Enzo] ...: We evolve both the gas total energy as well
+//! formalism of \[Enzo\] ...: We evolve both the gas total energy as well
 //! as the entropy. ... The angular momentum technique described by
 //! [Després & Labourasse] is applied to the PPM reconstruction."
 //!

@@ -13,10 +13,31 @@
 //! fulfils a future on the caller), and transparent forwarding when a
 //! component has migrated (§5.2: channels keep working "even when a grid
 //! cell is migrated from one node to another").
+//!
+//! When a trace session is active (see [`amt::trace`]), every remote
+//! send and every network delivery records a `parcel/send` / `parcel/recv`
+//! span labelled with the transport kind and wire byte count.
+//!
+//! # Example
+//!
+//! ```
+//! use parcelport::{ActionId, Cluster, TransportKind};
+//!
+//! let cluster = Cluster::builder()
+//!     .localities(2)
+//!     .threads_per(2)
+//!     .transport(TransportKind::Libfabric)
+//!     .build();
+//! cluster.register_request_handler(ActionId(7), |_rt, _id, x: u64| x * x);
+//! let loc0 = cluster.locality(0);
+//! let fut = loc0.call::<u64, u64>(1, amt::GlobalId(0), ActionId(7), &9);
+//! assert_eq!(fut.get_help(loc0.runtime().scheduler()), 81);
+//! ```
 
 use crate::netmodel::{NetParams, TransportKind};
 use crate::parcel::{ActionId, ActionRegistry, Parcel};
 use crate::serialize::{from_bytes, to_bytes};
+use amt::trace::{self, TraceCategory};
 use amt::{CounterRegistry, Future, GlobalId, Metrics, Promise, Runtime};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -109,6 +130,9 @@ impl Locality {
         } else {
             let c = self.transport.counters();
             let wire = parcel.wire_size() as u64;
+            let _span = trace::span_labeled(TraceCategory::ParcelSend, || {
+                format!("{}:{}B", self.transport.kind().as_str(), wire)
+            });
             c.increment("parcels/sent");
             c.add("parcels/bytes_sent", wire);
             // The namespaced aliases the metrics facade documents
@@ -197,12 +221,16 @@ pub struct Cluster {
 
 /// Fluent construction of a [`Cluster`]:
 ///
-/// ```ignore
+/// ```
+/// use parcelport::{Cluster, TransportKind};
+///
 /// let cluster = Cluster::builder()
 ///     .localities(4)
 ///     .threads_per(2)
 ///     .transport(TransportKind::Libfabric)
 ///     .build();
+/// assert_eq!(cluster.len(), 4);
+/// assert_eq!(cluster.transport().kind(), TransportKind::Libfabric);
 /// ```
 ///
 /// Defaults: 1 locality, 1 scheduler thread, MPI transport, the
@@ -308,7 +336,16 @@ impl ClusterBuilder {
         // Wire delivery callbacks and progress pollers.
         for loc in &localities {
             let l = Arc::clone(loc);
-            transport.set_delivery(loc.index, Arc::new(move |parcel| l.deliver(parcel)));
+            let kind = transport.kind();
+            transport.set_delivery(
+                loc.index,
+                Arc::new(move |parcel| {
+                    let _span = trace::span_labeled(TraceCategory::ParcelRecv, || {
+                        format!("{}:{}B", kind.as_str(), parcel.wire_size())
+                    });
+                    l.deliver(parcel)
+                }),
+            );
             let t = Arc::clone(&transport);
             let idx = loc.index;
             loc.rt.scheduler().register_poller(move || t.progress(idx));

@@ -28,7 +28,7 @@ pub const REDUCE_ACTION: ActionId = ActionId(0xC01);
 
 impl Collectives {
     /// Install the collective handlers on the cluster. Call once before
-    /// using [`allreduce_min`] / [`allreduce_sum`].
+    /// using [`allreduce_wire`] / [`allreduce_host`].
     pub fn register(cluster: &Cluster) -> Arc<Collectives> {
         let me = Arc::new(Collectives { pending: Arc::new(Mutex::new(HashMap::new())) });
         let pending = Arc::clone(&me.pending);

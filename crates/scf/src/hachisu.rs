@@ -1,7 +1,7 @@
 //! A Hachisu-style self-consistent-field iteration for rotating
 //! polytropes.
 //!
-//! Hachisu's method (paper ref. [23]) iterates between the density and
+//! Hachisu's method (paper ref. \[23\]) iterates between the density and
 //! the potential: given ρ, solve for Φ; then update the enthalpy from
 //! Bernoulli's integral `H = C − Φ − ½Ω²R²` (cylindrical radius R) and
 //! recover ρ from the polytropic relation `H = (n+1) K ρ^(1/n)`; repeat

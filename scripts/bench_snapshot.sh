@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # FMM performance snapshot: kernel microbenchmarks (quick mode), the
-# measured solver throughput / launch-split / scratch numbers, and the
-# distributed real-driver transport comparison — all merged into
-# BENCH_fmm.json at the repo root.
+# measured solver throughput / launch-split / scratch numbers, the
+# distributed real-driver transport comparison, and the APEX-style
+# task timeline — all merged into BENCH_fmm.json at the repo root,
+# with the raw Perfetto trace archived next to it.
 #
 # Usage: scripts/bench_snapshot.sh [fmm_iters] [driver_steps]
 #
@@ -26,3 +27,8 @@ cargo run --release -p bench --bin fmm_snapshot -- "${1:-3}" || fail "fmm_snapsh
 echo
 echo "== distributed real-driver transport comparison =="
 cargo run --release -p bench --bin fig3_real_solver -- "${2:-1}" || fail "fig3_real_solver"
+
+echo
+echo "== task-trace timeline (per-category breakdown + overhead) =="
+cargo run --release -p bench --bin trace_timeline -- "${2:-2}" trace_timeline.json \
+    || fail "trace_timeline"

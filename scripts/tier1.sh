@@ -3,6 +3,7 @@
 #
 #   1. release build of the whole workspace (bins + benches included)
 #   2. the full test suite in quiet mode
+#   3. rustdoc with warnings denied (broken links, missing docs on amt)
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -14,6 +15,10 @@ cargo build --workspace --release
 echo
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo
+echo "== tier-1: cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo
 echo "tier-1 green"
