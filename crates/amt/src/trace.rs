@@ -114,6 +114,9 @@ pub enum TraceCategory {
     ParcelSend,
     /// A parcel delivered by a transport to its destination locality.
     ParcelRecv,
+    /// The reliable-delivery layer retransmitted an unacknowledged
+    /// parcel (backoff expired before the ack arrived).
+    ParcelRetry,
     /// Anything not covered above (tests, ad-hoc probes).
     Custom,
 }
@@ -140,6 +143,7 @@ serde::impl_codec_enum_unit!(TraceCategory {
     Barrier,
     ParcelSend,
     ParcelRecv,
+    ParcelRetry,
     Custom,
 });
 
@@ -167,6 +171,7 @@ impl TraceCategory {
         TraceCategory::Barrier,
         TraceCategory::ParcelSend,
         TraceCategory::ParcelRecv,
+        TraceCategory::ParcelRetry,
         TraceCategory::Custom,
     ];
 
@@ -195,6 +200,7 @@ impl TraceCategory {
             TraceCategory::Barrier => "driver/barrier",
             TraceCategory::ParcelSend => "parcel/send",
             TraceCategory::ParcelRecv => "parcel/recv",
+            TraceCategory::ParcelRetry => "parcel/retry",
             TraceCategory::Custom => "custom",
         }
     }

@@ -1,0 +1,175 @@
+//! Reliable-delivery overhead + checkpoint cost → the `"fault"`
+//! section of `BENCH_fmm.json`.
+//!
+//! The fault-tolerant parcelport must be affordable when nothing goes
+//! wrong: the acceptance bar is ≤ 5% throughput overhead for the
+//! sequence/ack/retransmit layer on a fault-free run of the level-2
+//! self-gravitating benchmark. This bin measures
+//!
+//! * baseline distributed throughput (no reliability, no faults),
+//! * the same run with the reliability layer on (framing, acks,
+//!   retransmit bookkeeping — but a perfect fabric, so zero retries),
+//! * a lossy run (seeded drop/duplicate/delay) demonstrating the
+//!   retransmit machinery actually firing, with its counter totals, and
+//! * checkpoint encode / restore wall time and blob size.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fault_overhead [steps]
+//! ```
+
+use hydro::eos::IdealGas;
+use octotiger::{Config, DistributedDriver, Scenario};
+use octree::geometry::Domain;
+use octree::subgrid::Field;
+use octree::tree::Octree;
+use parcelport::cluster::Cluster;
+use parcelport::fault::FaultPlan;
+use parcelport::netmodel::TransportKind;
+use parcelport::reliable::ReliablePolicy;
+use scf::lane_emden::Polytrope;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use util::vec3::Vec3;
+
+/// The determinism suite's level-2 self-gravitating AMR scenario.
+fn star_amr() -> Scenario {
+    let eos = IdealGas::monatomic();
+    let star = Polytrope::new(1.0, 1.0, 1.5);
+    let mut tree = Octree::new(Domain::new(8.0));
+    tree.refine_where(2, |d, k| {
+        let o = d.node_origin(k);
+        k.level == 0 || (o.x < 0.0 && o.y < 0.0 && o.z < 0.0)
+    });
+    let domain = tree.domain();
+    let center = Vec3::new(-1.0, -1.0, -1.0);
+    for key in tree.leaves() {
+        let node = tree.node_mut(key).expect("leaf");
+        let grid = node.grid.as_mut().expect("grid");
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            let r = (c - center).norm();
+            let rho = star.rho(r).max(1e-10);
+            let e = star.e_int(r).max(rho * 1e-4);
+            grid.set(Field::Rho, i, j, k, rho);
+            grid.set(Field::Egas, i, j, k, e);
+            grid.set(Field::Tau, i, j, k, eos.tau_from_e(e));
+        }
+    }
+    tree.restrict_all();
+    Scenario {
+        name: "star_amr",
+        tree,
+        config: Config { eos, ..Config::self_gravitating() },
+        binary: None,
+    }
+}
+
+struct Run {
+    subgrids_per_sec: f64,
+    dt_bits: u64,
+    retries: u64,
+    acks: u64,
+    dup_dropped: u64,
+}
+
+fn run(kind: TransportKind, steps: usize, reliable: bool, plan: Option<FaultPlan>) -> Run {
+    let mut b = Cluster::builder().localities(2).threads_per(2).transport(kind);
+    if let Some(p) = plan {
+        b = b.fault_plan(p);
+    }
+    if reliable {
+        b = b.reliable(ReliablePolicy::default());
+    }
+    let cluster = Arc::new(b.build());
+    let mut driver = DistributedDriver::new(star_amr(), cluster).expect("driver");
+    let mut dt_bits = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        dt_bits = driver.step().expect("step").to_bits();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let m = driver.cluster().metrics();
+    Run {
+        subgrids_per_sec: driver.subgrids_processed as f64 / wall,
+        dt_bits,
+        retries: m.get("parcelport/retries"),
+        acks: m.get("parcelport/acks"),
+        dup_dropped: m.get("parcelport/dup_dropped"),
+    }
+}
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+    let kind = TransportKind::Libfabric;
+
+    println!("fault-tolerance overhead (star_amr, 2 localities, {kind}, {steps} step(s))");
+    println!("{}", "-".repeat(72));
+
+    let base = run(kind, steps, false, None);
+    let rel = run(kind, steps, true, None);
+    let lossy = run(
+        kind,
+        steps,
+        true,
+        Some(FaultPlan::seeded(0xE12).drop(0.05).duplicate(0.05).delay(0.05, 64)),
+    );
+    assert_eq!(base.dt_bits, rel.dt_bits, "reliability must not perturb results");
+    assert_eq!(base.dt_bits, lossy.dt_bits, "a crashless fault plan must not perturb results");
+
+    let overhead_pct = 100.0 * (1.0 - rel.subgrids_per_sec / base.subgrids_per_sec);
+    for (name, r) in [("baseline", &base), ("reliable", &rel), ("lossy", &lossy)] {
+        println!(
+            "{name:<10} {:>10.2} sub-grids/s   retries {:>4}  acks {:>6}  dup_dropped {:>4}",
+            r.subgrids_per_sec, r.retries, r.acks, r.dup_dropped
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("reliable-delivery overhead: {overhead_pct:.2}% (budget: 5%)");
+    assert!(lossy.retries > 0, "the lossy run must exercise retransmission");
+
+    // Checkpoint encode/restore cost on the same state.
+    let cluster = Arc::new(Cluster::builder().localities(2).threads_per(2).build());
+    let mut driver = DistributedDriver::new(star_amr(), cluster).expect("driver");
+    driver.step().expect("step");
+    let t0 = Instant::now();
+    let blob = driver.checkpoint().expect("checkpoint");
+    let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let fresh = Arc::new(Cluster::builder().localities(2).threads_per(2).build());
+    let t0 = Instant::now();
+    let restored = DistributedDriver::restore(star_amr(), fresh, &blob).expect("restore");
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(restored.steps, 1);
+    println!(
+        "checkpoint: {} bytes, encode {encode_ms:.2} ms, restore {restore_ms:.2} ms",
+        blob.len()
+    );
+
+    let mut section = String::new();
+    section.push_str("  \"fault\": {\n");
+    let _ = writeln!(section, "    \"scenario\": \"star_amr\",");
+    let _ = writeln!(section, "    \"localities\": 2,");
+    let _ = writeln!(section, "    \"transport\": \"{}\",", kind.as_str());
+    let _ = writeln!(section, "    \"steps\": {steps},");
+    for (name, r) in [("baseline", &base), ("reliable", &rel), ("lossy", &lossy)] {
+        let _ = writeln!(section, "    \"{name}\": {{");
+        let _ = writeln!(section, "      \"subgrids_per_sec\": {:.2},", r.subgrids_per_sec);
+        let _ = writeln!(section, "      \"retries\": {},", r.retries);
+        let _ = writeln!(section, "      \"acks\": {},", r.acks);
+        let _ = writeln!(section, "      \"dup_dropped\": {}", r.dup_dropped);
+        let _ = writeln!(section, "    }},");
+    }
+    let _ = writeln!(section, "    \"reliable_overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(section, "    \"checkpoint_bytes\": {},", blob.len());
+    let _ = writeln!(section, "    \"checkpoint_encode_ms\": {encode_ms:.3},");
+    let _ = writeln!(section, "    \"checkpoint_restore_ms\": {restore_ms:.3}");
+    section.push_str("  }");
+
+    let path = "BENCH_fmm.json";
+    bench::merge_json_section(path, "fault", &section);
+    println!("merged \"fault\" into {path}");
+}

@@ -37,6 +37,14 @@
 //!    so per-shard fields equal the full solve's per leaf (test-proven
 //!    in `gravity::solver`).
 //!
+//! **Fault tolerance.** Every phase is crash-aware: quiescence waits
+//! and collectives surface [`util::Error::LocalityCrashed`] when the
+//! cluster's fault layer reports a dead locality, so `step` returns an
+//! error instead of hanging. [`DistributedDriver::checkpoint`] cuts a
+//! digest-protected snapshot of the global state between steps and
+//! [`DistributedDriver::restore`] resurrects it — on a cluster of any
+//! locality count — bit-identically (see [`crate::checkpoint`]).
+//!
 //! One driver owns its cluster's action space ([`HALO_ACTION`],
 //! [`MOMENT_ACTION`], and the collectives' reduce action): build a
 //! fresh cluster per driver.
@@ -54,12 +62,13 @@ use hydro::step::HydroStepper;
 use octree::halo::{fill_halos_for_leaves, BoundaryCondition};
 use octree::shard::ShardMap;
 use octree::subgrid::SubGrid;
+use crate::checkpoint::{self, CheckpointBody, CHECKPOINT_VERSION};
+use bytes::Bytes;
 use octree::tree::Octree;
 use parcelport::cluster::Cluster;
 use parcelport::collectives::{self, Collectives};
-use parcelport::parcel::{ActionId, Parcel};
-use parcelport::serialize::{from_bytes, to_bytes};
-use std::collections::{BTreeMap, HashMap};
+use parcelport::parcel::{ActionHandle, ActionId, Parcel};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 use util::morton::MortonKey;
 use util::{Error, Result};
@@ -105,6 +114,8 @@ pub struct DistributedDriver {
     mirrors: Vec<Arc<Octree>>,
     halo_inbox: Inbox<GridMsg>,
     moment_inbox: Inbox<MomentMsg>,
+    halo_action: ActionHandle<GridMsg>,
+    moment_action: ActionHandle<MomentMsg>,
     /// AGAS ids of the per-shard owner components (resident on their
     /// locality, recorded as remote everywhere else).
     shard_ids: Vec<GlobalId>,
@@ -121,6 +132,9 @@ pub struct DistributedDriver {
     /// Sub-grids processed (leaves × steps) — the paper's throughput
     /// metric.
     pub subgrids_processed: u64,
+    /// dt of every completed step, in order (checkpointed, so a
+    /// restored run's per-step dts line up with the uninterrupted one).
+    pub dt_history: Vec<f64>,
     /// Fresh ids for collectives (reductions and barriers).
     seq: u64,
     halo_bytes: Counter,
@@ -178,22 +192,20 @@ impl DistributedDriver {
             Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
         let moment_inbox: Inbox<MomentMsg> =
             Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
-        {
+        let halo_action = {
             let inbox = Arc::clone(&halo_inbox);
-            cluster.register_action(HALO_ACTION, move |rt, id, payload| {
+            cluster.register_action(HALO_ACTION, move |rt, id, msg: GridMsg| {
                 debug_assert!(rt.agas().is_local(id), "halo parcel landed off-shard");
-                let msg: GridMsg = from_bytes(&payload).expect("halo message corrupt");
                 inbox[rt.locality() as usize].lock().expect("halo inbox").push(msg);
-            });
-        }
-        {
+            })
+        };
+        let moment_action = {
             let inbox = Arc::clone(&moment_inbox);
-            cluster.register_action(MOMENT_ACTION, move |rt, id, payload| {
+            cluster.register_action(MOMENT_ACTION, move |rt, id, msg: MomentMsg| {
                 debug_assert!(rt.agas().is_local(id), "moment parcel landed off-shard");
-                let msg: MomentMsg = from_bytes(&payload).expect("moment message corrupt");
                 inbox[rt.locality() as usize].lock().expect("moment inbox").push(msg);
-            });
-        }
+            })
+        };
         let coll = Collectives::register(&cluster);
 
         let m = cluster.metrics();
@@ -209,6 +221,8 @@ impl DistributedDriver {
             mirrors,
             halo_inbox,
             moment_inbox,
+            halo_action,
+            moment_action,
             shard_ids,
             expected_halo_inbound,
             expected_moment_inbound,
@@ -219,6 +233,7 @@ impl DistributedDriver {
             time: 0.0,
             steps: 0,
             subgrids_processed: 0,
+            dt_history: Vec::new(),
             seq: 0,
         })
     }
@@ -298,24 +313,26 @@ impl DistributedDriver {
                     key,
                     cells: own[src][&key].as_ref().clone(),
                 };
-                let payload = to_bytes(&msg)?;
+                // Serialize once per key; every destination shares the
+                // same (cheaply cloned) buffer.
+                let payload = self.moment_action.encode(&msg)?;
                 for dst in 0..n {
                     if dst == src {
                         continue;
                     }
-                    let parcel = Parcel {
-                        dest_locality: dst as u32,
-                        dest_component: self.shard_ids[dst],
-                        action: MOMENT_ACTION,
-                        payload: payload.clone(),
-                    };
                     self.moment_parcels.increment();
-                    self.moment_bytes.add(parcel.wire_size() as u64);
-                    self.cluster.locality(src).try_send(parcel)?;
+                    self.moment_bytes
+                        .add((Parcel::HEADER_BYTES + payload.len()) as u64);
+                    self.cluster.locality(src).send_encoded(
+                        self.moment_action,
+                        dst as u32,
+                        self.shard_ids[dst],
+                        payload.clone(),
+                    )?;
                 }
             }
         }
-        self.cluster.wait_quiescent();
+        self.cluster.try_wait_quiescent()?;
         drop(exchange_span);
         let _solve_span = trace::span(TraceCategory::GravitySolve);
         // Rebuild the full moment tree per locality and solve the shard.
@@ -409,20 +426,20 @@ impl DistributedDriver {
                         .expect("grid");
                     let msg =
                         GridMsg { from: src as u32, key, values: grid.extract_interior() };
-                    let payload = to_bytes(&msg)?;
-                    let parcel = Parcel {
-                        dest_locality: dst,
-                        dest_component: self.shard_ids[dst as usize],
-                        action: HALO_ACTION,
-                        payload,
-                    };
+                    let payload = self.halo_action.encode(&msg)?;
                     self.halo_parcels.increment();
-                    self.halo_bytes.add(parcel.wire_size() as u64);
-                    self.cluster.locality(src).try_send(parcel)?;
+                    self.halo_bytes
+                        .add((Parcel::HEADER_BYTES + payload.len()) as u64);
+                    self.cluster.locality(src).send_encoded(
+                        self.halo_action,
+                        dst,
+                        self.shard_ids[dst as usize],
+                        payload,
+                    )?;
                 }
             }
         }
-        self.cluster.wait_quiescent();
+        self.cluster.try_wait_quiescent()?;
         for loc in 0..n {
             let mut msgs: Vec<GridMsg> = {
                 let mut inbox = self.halo_inbox[loc].lock().expect("halo inbox");
@@ -514,7 +531,7 @@ impl DistributedDriver {
             let _span = trace::span(TraceCategory::DtReduce);
             let local_dts: Vec<f64> = (0..n).map(|loc| self.local_min_dt(loc)).collect();
             let seq = self.next_seq();
-            collectives::allreduce_wire(&self.cluster, &self.coll, seq, &local_dts, f64::min)
+            collectives::allreduce_wire(&self.cluster, &self.coll, seq, &local_dts, f64::min)?
         };
         if !(dt.is_finite() && dt > 0.0) {
             return Err(Error::Driver(format!("CFL produced dt = {dt}")));
@@ -540,12 +557,13 @@ impl DistributedDriver {
         {
             let _span = trace::span(TraceCategory::Barrier);
             let seq = self.next_seq();
-            collectives::barrier(&self.cluster, &self.coll, seq);
+            collectives::barrier(&self.cluster, &self.coll, seq)?;
         }
 
         self.time += dt;
         self.steps += 1;
         self.subgrids_processed += self.shard.n_leaves() as u64;
+        self.dt_history.push(dt);
         Ok(dt)
     }
 
@@ -579,6 +597,95 @@ impl DistributedDriver {
         }
         out.restrict_all();
         out
+    }
+
+    /// Snapshot the global simulation state into a versioned,
+    /// digest-protected blob (see [`crate::checkpoint`]). Cut between
+    /// steps — typically right after a successful
+    /// [`DistributedDriver::step`]; the caller keeps the blob wherever
+    /// it likes (memory, disk) and hands it back to
+    /// [`DistributedDriver::restore`].
+    pub fn checkpoint(&self) -> Result<Bytes> {
+        let total = self.shard.n_leaves();
+        let mut keys = Vec::with_capacity(total);
+        let mut interiors = Vec::with_capacity(total);
+        for shard in 0..self.shard.n_shards() {
+            for &key in self.shard.owned(shard as u32) {
+                let grid = self.mirrors[shard]
+                    .node(key)
+                    .ok_or_else(|| {
+                        Error::Checkpoint(format!("{key:?} missing from mirror {shard}"))
+                    })?
+                    .grid
+                    .as_ref()
+                    .ok_or_else(|| Error::Checkpoint(format!("{key:?} has no grid")))?;
+                keys.push(key);
+                interiors.push(grid.extract_interior());
+            }
+        }
+        checkpoint::encode(&CheckpointBody {
+            version: CHECKPOINT_VERSION,
+            steps: self.steps,
+            time: self.time,
+            seq: self.seq,
+            subgrids_processed: self.subgrids_processed,
+            dt_history: self.dt_history.clone(),
+            keys,
+            interiors,
+        })
+    }
+
+    /// Resurrect a driver from `blob` on a *fresh* `cluster`.
+    ///
+    /// The cluster may have a different locality count than the one
+    /// that wrote the checkpoint: the blob stores leaves, not shards,
+    /// so the leaves are simply repartitioned over whatever localities
+    /// exist — this is how a crashed locality's shards are re-adopted
+    /// by the survivors. `scenario` must be the same scenario the
+    /// checkpointed run was built from (same tree topology and config);
+    /// its leaf data is overwritten by the checkpoint. The restored
+    /// state is bit-identical to the writer's at the moment of the
+    /// snapshot, so continuing the run reproduces the uninterrupted
+    /// run's per-step dts and grids exactly.
+    pub fn restore(
+        scenario: Scenario,
+        cluster: Arc<Cluster>,
+        blob: &Bytes,
+    ) -> Result<DistributedDriver> {
+        let body = checkpoint::decode(blob)?;
+        let mut driver = DistributedDriver::new(scenario, cluster)?;
+        let have: BTreeSet<MortonKey> = driver.mirrors[0].leaves().into_iter().collect();
+        let stored: BTreeSet<MortonKey> = body.keys.iter().copied().collect();
+        if have != stored {
+            return Err(Error::Checkpoint(format!(
+                "leaf set mismatch: scenario has {} leaves, checkpoint stores {}",
+                have.len(),
+                stored.len()
+            )));
+        }
+        // Every mirror gets the full global state: owned leaves become
+        // authoritative, the rest hold exactly what the interior
+        // exchange would have pushed (ghosts are refilled from these
+        // interiors at the top of the next step).
+        for loc in 0..driver.mirrors.len() {
+            let tree = Arc::get_mut(&mut driver.mirrors[loc])
+                .expect("fresh mirrors are unshared");
+            for (key, values) in body.keys.iter().zip(&body.interiors) {
+                let node = tree.node_mut(*key).ok_or_else(|| {
+                    Error::Checkpoint(format!("{key:?} missing from mirror {loc}"))
+                })?;
+                node.grid
+                    .as_mut()
+                    .ok_or_else(|| Error::Checkpoint(format!("{key:?} has no grid")))?
+                    .apply_interior(values);
+            }
+        }
+        driver.steps = body.steps;
+        driver.time = body.time;
+        driver.seq = body.seq;
+        driver.subgrids_processed = body.subgrids_processed;
+        driver.dt_history = body.dt_history;
+        Ok(driver)
     }
 }
 

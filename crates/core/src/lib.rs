@@ -22,12 +22,17 @@
 //!   multi-locality cluster: sub-grids sharded along the space filling
 //!   curve, halo/multipole exchange and the dt reduction as parcels
 //!   over either parcelport, bit-identical to [`driver`].
+//! * [`checkpoint`] — versioned, digest-protected snapshots of the
+//!   distributed state; a run killed by a locality crash restores from
+//!   its latest checkpoint bit-identically (HPX's `hpx::checkpoint`
+//!   contract).
 //! * [`diagnostics`] — the conserved-quantity monitors behind the
 //!   paper's machine-precision conservation claims.
 //! * [`regrid`] — dynamic density-driven refinement/coarsening with
 //!   conservative data transfer.
 //! * [`verification`] — §4.2's test suite as callable checks.
 
+pub mod checkpoint;
 pub mod config;
 pub mod diagnostics;
 pub mod distributed;

@@ -28,14 +28,16 @@
 //!     .threads_per(2)
 //!     .transport(TransportKind::Libfabric)
 //!     .build();
-//! cluster.register_request_handler(ActionId(7), |_rt, _id, x: u64| x * x);
+//! let square = cluster.register_request_handler(ActionId(7), |_rt, _id, x: u64| x * x);
 //! let loc0 = cluster.locality(0);
-//! let fut = loc0.call::<u64, u64>(1, amt::GlobalId(0), ActionId(7), &9);
-//! assert_eq!(fut.get_help(loc0.runtime().scheduler()), 81);
+//! let fut = loc0.call_action(square, 1, amt::GlobalId(0), &9).unwrap();
+//! assert_eq!(fut.get_help(loc0.runtime().scheduler()).unwrap(), 81);
 //! ```
 
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::netmodel::{NetParams, TransportKind};
-use crate::parcel::{ActionId, ActionRegistry, Parcel};
+use crate::parcel::{ActionHandle, ActionId, ActionRegistry, CallHandle, Parcel};
+use crate::reliable::{ReliablePolicy, ReliableTransport};
 use crate::serialize::{from_bytes, to_bytes};
 use amt::trace::{self, TraceCategory};
 use amt::{CounterRegistry, Future, GlobalId, Metrics, Promise, Runtime};
@@ -66,6 +68,12 @@ pub trait Transport: Send + Sync {
     fn in_flight(&self) -> usize;
     /// The network-wide counter registry (parcels, bytes, copies, ...).
     fn counters(&self) -> &Arc<CounterRegistry>;
+    /// Localities known to have failed (crashed, or declared dead by a
+    /// reliability layer after its retry budget ran out). The raw
+    /// simulated fabrics never fail anyone; decorators override this.
+    fn failed_localities(&self) -> Vec<u32> {
+        Vec::new()
+    }
 }
 
 /// Callback invoked when a parcel arrives at a locality.
@@ -96,6 +104,11 @@ pub struct Locality {
     transport: Arc<dyn Transport>,
     pending_calls: Mutex<HashMap<u64, Promise<Bytes>>>,
     next_request: AtomicU64,
+    /// Errors raised inside action handlers (decode failures, reply
+    /// sends that bounced). Handlers run detached on scheduler threads,
+    /// so there is no caller to return them to; they are parked here
+    /// and counted under the transport's `handler_errors` counter.
+    failures: Mutex<Vec<Error>>,
 }
 
 impl Locality {
@@ -145,13 +158,47 @@ impl Locality {
     }
 
     /// Infallible [`Locality::try_send`]; panics on a bad destination.
+    #[deprecated(note = "use Locality::try_send and handle the error")]
     pub fn send(&self, parcel: Parcel) {
         self.try_send(parcel).expect("parcel send failed");
     }
 
+    /// Typed fire-and-forget through an [`ActionHandle`]: encode `req`
+    /// and send it to `action`'s handler on `dest_locality`.
+    pub fn send_action<Req: Serialize>(
+        &self,
+        action: ActionHandle<Req>,
+        dest_locality: u32,
+        dest_component: GlobalId,
+        req: &Req,
+    ) -> Result<()> {
+        self.send_encoded(action, dest_locality, dest_component, action.encode(req)?)
+    }
+
+    /// Like [`Locality::send_action`] with a pre-encoded payload.
+    /// Broadcast-style senders encode once with [`ActionHandle::encode`]
+    /// and fan the same (cheaply cloned) buffer out to every
+    /// destination.
+    pub fn send_encoded<Req>(
+        &self,
+        action: ActionHandle<Req>,
+        dest_locality: u32,
+        dest_component: GlobalId,
+        payload: Bytes,
+    ) -> Result<()> {
+        self.try_send(Parcel {
+            dest_locality,
+            dest_component,
+            action: action.id(),
+            payload,
+        })
+    }
+
     /// Remote call: run `action` on `dest` with argument `req`; the
-    /// returned future is fulfilled with the handler's response. The
-    /// handler must have been registered with
+    /// returned future is fulfilled with the handler's response (or a
+    /// [`Error::Codec`] if the reply fails to decode — a corrupt
+    /// response resolves the future with `Err` instead of panicking a
+    /// scheduler thread). The handler must have been registered with
     /// [`Cluster::register_request_handler`]. Serialization failures and
     /// bad destinations surface as `Err` before anything is enqueued.
     pub fn try_call<Req: Serialize, Resp: for<'de> Deserialize<'de> + Send + 'static>(
@@ -160,7 +207,7 @@ impl Locality {
         dest_component: GlobalId,
         action: ActionId,
         req: &Req,
-    ) -> Result<Future<Resp>> {
+    ) -> Result<Future<Result<Resp>>> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let envelope = CallEnvelope {
             request_id,
@@ -181,12 +228,29 @@ impl Locality {
             return Err(e);
         }
         Ok(raw.then(self.rt.scheduler(), |bytes: Bytes| {
-            from_bytes(&bytes).expect("response deserialization failed")
+            from_bytes(&bytes).map_err(Error::from)
         }))
     }
 
+    /// Typed remote call through a [`CallHandle`]; response type
+    /// inference comes from the handle, so no turbofish needed.
+    pub fn call_action<Req, Resp>(
+        &self,
+        action: CallHandle<Req, Resp>,
+        dest_locality: u32,
+        dest_component: GlobalId,
+        req: &Req,
+    ) -> Result<Future<Result<Resp>>>
+    where
+        Req: Serialize,
+        Resp: for<'de> Deserialize<'de> + Send + 'static,
+    {
+        self.try_call(dest_locality, dest_component, action.id(), req)
+    }
+
     /// Infallible [`Locality::try_call`]; panics on serialization
-    /// failure or a bad destination.
+    /// failure, a bad destination, or a corrupt response.
+    #[deprecated(note = "use Locality::try_call (or call_action) and handle the error")]
     pub fn call<Req: Serialize, Resp: for<'de> Deserialize<'de> + Send + 'static>(
         &self,
         dest_locality: u32,
@@ -196,6 +260,20 @@ impl Locality {
     ) -> Future<Resp> {
         self.try_call(dest_locality, dest_component, action, req)
             .expect("remote call failed")
+            .then(self.rt.scheduler(), |r: Result<Resp>| {
+                r.expect("response deserialization failed")
+            })
+    }
+
+    /// Park a handler-side error (see the `failures` field docs).
+    pub fn record_failure(&self, e: Error) {
+        self.transport.counters().increment("handler_errors");
+        self.failures.lock().push(e);
+    }
+
+    /// Drain the errors recorded by action handlers on this locality.
+    pub fn take_failures(&self) -> Vec<Error> {
+        std::mem::take(&mut *self.failures.lock())
     }
 
     /// Deliver an inbound (or loopback) parcel: forward if the target
@@ -204,7 +282,9 @@ impl Locality {
         if let Some(target) = self.rt.agas().forwarding_target(parcel.dest_component) {
             self.transport.counters().increment("parcels/forwarded");
             parcel.dest_locality = target;
-            self.send(parcel);
+            if let Err(e) = self.try_send(parcel) {
+                self.record_failure(e);
+            }
             return;
         }
         self.actions.dispatch(&self.rt, parcel);
@@ -217,6 +297,8 @@ pub struct Cluster {
     transport: Arc<dyn Transport>,
     net: NetParams,
     metrics: Arc<Metrics>,
+    fault: Option<Arc<FaultyTransport>>,
+    reliable: Option<Arc<ReliableTransport>>,
 }
 
 /// Fluent construction of a [`Cluster`]:
@@ -241,6 +323,8 @@ pub struct ClusterBuilder {
     kind: TransportKind,
     transport: Option<Arc<dyn Transport>>,
     net: Option<NetParams>,
+    fault_plan: Option<FaultPlan>,
+    reliable: Option<ReliablePolicy>,
 }
 
 impl Default for ClusterBuilder {
@@ -251,6 +335,8 @@ impl Default for ClusterBuilder {
             kind: TransportKind::Mpi,
             transport: None,
             net: None,
+            fault_plan: None,
+            reliable: None,
         }
     }
 }
@@ -288,6 +374,24 @@ impl ClusterBuilder {
         self
     }
 
+    /// Inject faults according to `plan` (see [`FaultPlan`]). A plan
+    /// that can perturb parcels implicitly enables the reliable
+    /// delivery layer with the default [`ReliablePolicy`] — without
+    /// retransmission a single dropped parcel would hang quiescence
+    /// forever.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enable the reliable delivery layer ([`ReliableTransport`]) with
+    /// an explicit policy, independent of fault injection. Benches use
+    /// this to measure the fault-free overhead of the protocol.
+    pub fn reliable(mut self, policy: ReliablePolicy) -> Self {
+        self.reliable = Some(policy);
+        self
+    }
+
     /// Validate and build.
     pub fn try_build(self) -> Result<Cluster> {
         if self.localities == 0 {
@@ -296,7 +400,7 @@ impl ClusterBuilder {
         if self.threads_per == 0 {
             return Err(Error::Driver("each locality needs at least one scheduler thread".into()));
         }
-        let transport: Arc<dyn Transport> = match self.transport {
+        let raw: Arc<dyn Transport> = match self.transport {
             Some(t) => t,
             None => match self.kind {
                 TransportKind::Mpi => {
@@ -307,6 +411,25 @@ impl ClusterBuilder {
                 }
             },
         };
+        // Decorator stack (bottom up): raw fabric, then fault
+        // injection, then reliable delivery. The default build keeps
+        // the raw fabric bare — zero added overhead.
+        let mut transport = raw;
+        let fault = self.fault_plan.map(|plan| {
+            let f = Arc::new(FaultyTransport::new(transport.clone(), plan, self.localities));
+            transport = f.clone() as Arc<dyn Transport>;
+            f
+        });
+        let reliable_policy = match (&fault, self.reliable) {
+            (_, Some(p)) => Some(p),
+            (Some(f), None) if f.plan().is_active() => Some(ReliablePolicy::default()),
+            _ => None,
+        };
+        let reliable = reliable_policy.map(|policy| {
+            let r = Arc::new(ReliableTransport::new(transport.clone(), policy));
+            transport = r.clone() as Arc<dyn Transport>;
+            r
+        });
         let net = self.net.unwrap_or_else(|| NetParams::for_kind(transport.kind()));
         let mut localities = Vec::with_capacity(self.localities);
         for i in 0..self.localities {
@@ -319,13 +442,19 @@ impl ClusterBuilder {
                 transport: Arc::clone(&transport),
                 pending_calls: Mutex::new(HashMap::new()),
                 next_request: AtomicU64::new(1),
+                failures: Mutex::new(Vec::new()),
             });
             // Built-in handler resolving remote-call responses.
             let loc_for_resp = Arc::downgrade(&loc);
             loc.actions.register(RESPONSE_ACTION, move |_rt, _id, payload| {
                 let Some(loc) = loc_for_resp.upgrade() else { return };
-                let env: ResponseEnvelope =
-                    from_bytes(&payload).expect("response envelope corrupt");
+                let env: ResponseEnvelope = match from_bytes(&payload) {
+                    Ok(env) => env,
+                    Err(e) => {
+                        loc.record_failure(e.into());
+                        return;
+                    }
+                };
                 let pending = loc.pending_calls.lock().remove(&env.request_id);
                 if let Some(p) = pending {
                     p.set_value(Bytes::from(env.body));
@@ -358,13 +487,23 @@ impl ClusterBuilder {
             &format!("parcelport/{}", transport.kind().as_str()),
             Arc::clone(transport.counters()),
         );
+        // Decorator counters: reliability at `parcelport` (so
+        // `parcelport/retries`, `parcelport/dup_dropped`,
+        // `parcelport/acks` resolve by longest-prefix), fault events at
+        // `parcelport/faults`.
+        if let Some(r) = &reliable {
+            metrics.mount("parcelport", Arc::clone(r.reliability_counters()));
+        }
+        if let Some(f) = &fault {
+            metrics.mount("parcelport/faults", Arc::clone(f.fault_counters()));
+        }
         for loc in &localities {
             metrics.mount(
                 &format!("locality/{}", loc.index),
                 Arc::clone(loc.rt.counters()),
             );
         }
-        Ok(Cluster { localities, transport, net, metrics })
+        Ok(Cluster { localities, transport, net, metrics, fault, reliable })
     }
 
     /// Infallible [`ClusterBuilder::try_build`]; panics on an invalid
@@ -378,31 +517,6 @@ impl Cluster {
     /// Start building a cluster.
     pub fn builder() -> ClusterBuilder {
         ClusterBuilder::default()
-    }
-
-    /// Build a cluster of `n_localities`, each with `threads_per`
-    /// scheduler threads, connected by `kind`'s transport.
-    #[deprecated(note = "use Cluster::builder()")]
-    pub fn new(n_localities: usize, threads_per: usize, kind: TransportKind) -> Cluster {
-        Cluster::builder()
-            .localities(n_localities)
-            .threads_per(threads_per)
-            .transport(kind)
-            .build()
-    }
-
-    /// Build a cluster over an explicit transport instance.
-    #[deprecated(note = "use Cluster::builder().transport_instance(...)")]
-    pub fn with_transport(
-        n_localities: usize,
-        threads_per: usize,
-        transport: Arc<dyn Transport>,
-    ) -> Cluster {
-        Cluster::builder()
-            .localities(n_localities)
-            .threads_per(threads_per)
-            .transport_instance(transport)
-            .build()
     }
 
     /// The cluster-wide namespaced metrics view.
@@ -435,13 +549,70 @@ impl Cluster {
         &self.localities
     }
 
-    /// The transport (for counters and kind).
+    /// The transport (for counters and kind). This is the *outermost*
+    /// layer of the decorator stack; its `counters()` always resolve to
+    /// the raw fabric's registry.
     pub fn transport(&self) -> &Arc<dyn Transport> {
         &self.transport
     }
 
-    /// Register the same fire-and-forget action on every locality.
-    pub fn register_action(
+    /// The fault-injection layer, if the cluster was built with a
+    /// [`ClusterBuilder::fault_plan`]. Tests use it to probe send
+    /// counts and to trigger crashes at a chosen point.
+    pub fn fault_layer(&self) -> Option<&Arc<FaultyTransport>> {
+        self.fault.as_ref()
+    }
+
+    /// The reliable-delivery layer, if enabled (explicitly via
+    /// [`ClusterBuilder::reliable`] or implied by a fault plan).
+    pub fn reliable_layer(&self) -> Option<&Arc<ReliableTransport>> {
+        self.reliable.as_ref()
+    }
+
+    /// Localities known to have failed — crashed by fault injection or
+    /// declared dead by the reliability layer. Empty on a healthy
+    /// cluster.
+    pub fn failed_localities(&self) -> Vec<u32> {
+        self.transport.failed_localities()
+    }
+
+    /// Register the same typed fire-and-forget action on every
+    /// locality; the payload is decoded to `Req` before the handler
+    /// runs. The returned [`ActionHandle`] is the key for send sites
+    /// ([`Locality::send_action`] / [`Locality::send_encoded`]), tying
+    /// the request type they encode to the one registered here. Decode
+    /// failures are parked via [`Locality::record_failure`] instead of
+    /// panicking a scheduler thread.
+    pub fn register_action<Req>(
+        &self,
+        id: ActionId,
+        handler: impl Fn(&Arc<Runtime>, GlobalId, Req) + Send + Sync + Clone + 'static,
+    ) -> ActionHandle<Req>
+    where
+        Req: for<'de> Deserialize<'de>,
+    {
+        for loc in &self.localities {
+            let handler = handler.clone();
+            let loc_weak = Arc::downgrade(loc);
+            loc.actions.register(id, move |rt, component, payload| {
+                match from_bytes::<Req>(&payload) {
+                    Ok(req) => handler(rt, component, req),
+                    Err(e) => {
+                        if let Some(loc) = loc_weak.upgrade() {
+                            loc.record_failure(e.into());
+                        }
+                    }
+                }
+            });
+        }
+        ActionHandle::new(id)
+    }
+
+    /// Register a byte-level fire-and-forget action on every locality
+    /// (no decoding; the handler sees the raw payload). For handlers
+    /// that do their own framing; typed code should prefer
+    /// [`Cluster::register_action`].
+    pub fn register_raw_action(
         &self,
         id: ActionId,
         handler: impl Fn(&Arc<Runtime>, GlobalId, Bytes) + Send + Sync + Clone + 'static,
@@ -453,12 +624,16 @@ impl Cluster {
 
     /// Register a request/response handler on every locality. The
     /// handler's return value is sent back and fulfils the caller's
-    /// future.
+    /// future. The returned [`CallHandle`] types
+    /// [`Locality::call_action`] send sites. Envelope or argument
+    /// decode failures and bounced replies are parked via
+    /// [`Locality::record_failure`].
     pub fn register_request_handler<Req, Resp>(
         &self,
         id: ActionId,
         handler: impl Fn(&Arc<Runtime>, GlobalId, Req) -> Resp + Send + Sync + Clone + 'static,
-    ) where
+    ) -> CallHandle<Req, Resp>
+    where
         Req: for<'de> Deserialize<'de>,
         Resp: Serialize,
     {
@@ -466,28 +641,51 @@ impl Cluster {
             let handler = handler.clone();
             let loc_weak = Arc::downgrade(loc);
             loc.actions.register(id, move |rt, component, payload| {
-                let env: CallEnvelope = from_bytes(&payload).expect("call envelope corrupt");
-                let req: Req =
-                    from_bytes(&Bytes::from(env.body)).expect("request deserialization failed");
-                let resp = handler(rt, component, req);
                 let Some(loc) = loc_weak.upgrade() else { return };
-                let renv = ResponseEnvelope {
-                    request_id: env.request_id,
-                    body: to_bytes(&resp).expect("response serialization failed").to_vec(),
-                };
-                loc.send(Parcel {
-                    dest_locality: env.reply_to,
-                    dest_component: GlobalId(0),
-                    action: RESPONSE_ACTION,
-                    payload: to_bytes(&renv).expect("response envelope serialization failed"),
-                });
+                let result = (|| -> Result<()> {
+                    let env: CallEnvelope = from_bytes(&payload)?;
+                    let req: Req = from_bytes(&Bytes::from(env.body))?;
+                    let resp = handler(rt, component, req);
+                    let renv = ResponseEnvelope {
+                        request_id: env.request_id,
+                        body: to_bytes(&resp)?.to_vec(),
+                    };
+                    loc.try_send(Parcel {
+                        dest_locality: env.reply_to,
+                        dest_component: GlobalId(0),
+                        action: RESPONSE_ACTION,
+                        payload: to_bytes(&renv)?,
+                    })
+                })();
+                if let Err(e) = result {
+                    loc.record_failure(e);
+                }
             });
         }
+        CallHandle::new(id)
     }
 
     /// Wait until every runtime is quiescent and the fabric is drained.
     pub fn wait_quiescent(&self) {
+        let _ = self.quiesce(false);
+    }
+
+    /// Crash-aware [`Cluster::wait_quiescent`]: returns
+    /// [`Error::LocalityCrashed`] as soon as a locality is reported
+    /// failed, instead of waiting for a drain that may never come (the
+    /// failed peer's unacked traffic only clears once the reliability
+    /// layer buries it).
+    pub fn try_wait_quiescent(&self) -> Result<()> {
+        self.quiesce(true)
+    }
+
+    fn quiesce(&self, fail_fast: bool) -> Result<()> {
         loop {
+            if fail_fast {
+                if let Some(&loc) = self.transport.failed_localities().first() {
+                    return Err(Error::LocalityCrashed(loc));
+                }
+            }
             for loc in &self.localities {
                 loc.rt.wait_quiescent();
             }
@@ -502,7 +700,7 @@ impl Cluster {
                     .iter()
                     .any(|l| l.rt.scheduler().in_flight() > 0);
             if !busy && !progressed {
-                return;
+                return Ok(());
             }
         }
     }
@@ -517,17 +715,20 @@ mod tests {
         let cluster = Cluster::builder().localities(3).threads_per(2).transport(kind).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        cluster.register_action(ActionId(1), move |_rt, _id, payload| {
+        cluster.register_raw_action(ActionId(1), move |_rt, _id, payload| {
             assert_eq!(&payload[..], b"ping");
             h.fetch_add(1, Ordering::SeqCst);
         });
         for dest in 0..3u32 {
-            cluster.locality(0).send(Parcel {
-                dest_locality: dest,
-                dest_component: GlobalId(1),
-                action: ActionId(1),
-                payload: Bytes::from_static(b"ping"),
-            });
+            cluster
+                .locality(0)
+                .try_send(Parcel {
+                    dest_locality: dest,
+                    dest_component: GlobalId(1),
+                    action: ActionId(1),
+                    payload: Bytes::from_static(b"ping"),
+                })
+                .unwrap();
         }
         cluster.wait_quiescent();
         assert_eq!(hits.load(Ordering::SeqCst), 3);
@@ -545,13 +746,13 @@ mod tests {
 
     fn call_cluster(kind: TransportKind) {
         let cluster = Cluster::builder().localities(2).threads_per(2).transport(kind).build();
-        cluster.register_request_handler(ActionId(5), |_rt, _id, x: u64| x * x);
+        let square = cluster.register_request_handler(ActionId(5), |_rt, _id, x: u64| x * x);
         let loc0 = cluster.locality(0);
-        let futs: Vec<Future<u64>> = (0..20)
-            .map(|i| loc0.call(1, GlobalId(0), ActionId(5), &(i as u64)))
+        let futs: Vec<Future<Result<u64>>> = (0..20)
+            .map(|i| loc0.call_action(square, 1, GlobalId(0), &(i as u64)).unwrap())
             .collect();
         for (i, f) in futs.into_iter().enumerate() {
-            let v = f.get_help(loc0.runtime().scheduler());
+            let v = f.get_help(loc0.runtime().scheduler()).unwrap();
             assert_eq!(v, (i * i) as u64);
         }
     }
@@ -572,15 +773,18 @@ mod tests {
             Cluster::builder().localities(2).transport(TransportKind::Libfabric).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        cluster.register_action(ActionId(2), move |_rt, _id, _p| {
+        cluster.register_raw_action(ActionId(2), move |_rt, _id, _p| {
             h.fetch_add(1, Ordering::SeqCst);
         });
-        cluster.locality(1).send(Parcel {
-            dest_locality: 1,
-            dest_component: GlobalId(9),
-            action: ActionId(2),
-            payload: Bytes::new(),
-        });
+        cluster
+            .locality(1)
+            .try_send(Parcel {
+                dest_locality: 1,
+                dest_component: GlobalId(9),
+                action: ActionId(2),
+                payload: Bytes::new(),
+            })
+            .unwrap();
         cluster.wait_quiescent();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(cluster.transport().counters().get("parcels/sent"), 0);
@@ -590,7 +794,7 @@ mod tests {
         let cluster = Cluster::builder().localities(3).threads_per(2).transport(kind).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        cluster.register_action(ActionId(3), move |rt, id, _p| {
+        cluster.register_raw_action(ActionId(3), move |rt, id, _p| {
             // The component must be resident wherever the parcel lands.
             assert!(rt.agas().is_local(id), "parcel landed where object is not resident");
             h.fetch_add(1, Ordering::SeqCst);
@@ -606,12 +810,15 @@ mod tests {
             .adopt(id, obj.downcast::<u64>().unwrap());
         // Locality 0 still believes the object is on 1; the parcel must
         // be forwarded 1 -> 2.
-        cluster.locality(0).send(Parcel {
-            dest_locality: 1,
-            dest_component: id,
-            action: ActionId(3),
-            payload: Bytes::new(),
-        });
+        cluster
+            .locality(0)
+            .try_send(Parcel {
+                dest_locality: 1,
+                dest_component: id,
+                action: ActionId(3),
+                payload: Bytes::new(),
+            })
+            .unwrap();
         cluster.wait_quiescent();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(cluster.transport().counters().get("parcels/forwarded"), 1);
@@ -634,19 +841,22 @@ mod tests {
                 Cluster::builder().localities(4).threads_per(2).transport(kind).build();
             let hits = Arc::new(AtomicUsize::new(0));
             let h = Arc::clone(&hits);
-            cluster.register_action(ActionId(4), move |_rt, _id, _p| {
+            cluster.register_raw_action(ActionId(4), move |_rt, _id, _p| {
                 h.fetch_add(1, Ordering::SeqCst);
             });
             let n = 500;
             for i in 0..n {
                 let from = i % 4;
                 let to = (i + 1) % 4;
-                cluster.locality(from).send(Parcel {
-                    dest_locality: to as u32,
-                    dest_component: GlobalId(1),
-                    action: ActionId(4),
-                    payload: Bytes::from(vec![0u8; (i * 97) % 4096]),
-                });
+                cluster
+                    .locality(from)
+                    .try_send(Parcel {
+                        dest_locality: to as u32,
+                        dest_component: GlobalId(1),
+                        action: ActionId(4),
+                        payload: Bytes::from(vec![0u8; (i * 97) % 4096]),
+                    })
+                    .unwrap();
             }
             cluster.wait_quiescent();
             assert_eq!(hits.load(Ordering::SeqCst), n, "{kind}");
@@ -662,13 +872,16 @@ mod tests {
             [(TransportKind::Mpi, true), (TransportKind::Libfabric, false)]
         {
             let cluster = Cluster::builder().localities(2).transport(kind).build();
-            cluster.register_action(ActionId(6), |_rt, _id, _p| {});
-            cluster.locality(0).send(Parcel {
-                dest_locality: 1,
-                dest_component: GlobalId(1),
-                action: ActionId(6),
-                payload: payload.clone(),
-            });
+            cluster.register_raw_action(ActionId(6), |_rt, _id, _p| {});
+            cluster
+                .locality(0)
+                .try_send(Parcel {
+                    dest_locality: 1,
+                    dest_component: GlobalId(1),
+                    action: ActionId(6),
+                    payload: payload.clone(),
+                })
+                .unwrap();
             cluster.wait_quiescent();
             let copies = cluster.transport().counters().get("parcels/payload_copies");
             if expect_copies {
@@ -732,13 +945,16 @@ mod tests {
             .localities(2)
             .transport(TransportKind::Libfabric)
             .build();
-        cluster.register_action(ActionId(8), |_rt, _id, _p| {});
-        cluster.locality(0).send(Parcel {
-            dest_locality: 1,
-            dest_component: GlobalId(1),
-            action: ActionId(8),
-            payload: Bytes::from(vec![0u8; 256]),
-        });
+        cluster.register_raw_action(ActionId(8), |_rt, _id, _p| {});
+        cluster
+            .locality(0)
+            .try_send(Parcel {
+                dest_locality: 1,
+                dest_component: GlobalId(1),
+                action: ActionId(8),
+                payload: Bytes::from(vec![0u8; 256]),
+            })
+            .unwrap();
         cluster.wait_quiescent();
         let m = cluster.metrics();
         assert_eq!(m.get("parcelport/libfabric/parcels_tx"), 1);
@@ -752,12 +968,210 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let cluster = Cluster::new(2, 1, TransportKind::Mpi);
-        assert_eq!(cluster.len(), 2);
-        let t: Arc<dyn Transport> = Arc::new(crate::mpi_sim::MpiTransport::new(2));
-        let cluster = Cluster::with_transport(2, 1, t);
-        assert_eq!(cluster.transport().kind(), TransportKind::Mpi);
+    fn typed_action_handle_roundtrip() {
+        let cluster = Cluster::builder().localities(2).threads_per(2).build();
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&sum);
+        let add = cluster.register_action(ActionId(10), move |_rt, _id, x: u64| {
+            s.fetch_add(x as usize, Ordering::SeqCst);
+        });
+        let loc0 = cluster.locality(0);
+        loc0.send_action(add, 1, GlobalId(0), &5u64).unwrap();
+        // Encode once, fan out the shared buffer.
+        let payload = add.encode(&7u64).unwrap();
+        loc0.send_encoded(add, 0, GlobalId(0), payload.clone()).unwrap();
+        loc0.send_encoded(add, 1, GlobalId(0), payload).unwrap();
+        cluster.wait_quiescent();
+        assert_eq!(sum.load(Ordering::SeqCst), 5 + 7 + 7);
+    }
+
+    #[test]
+    fn handler_decode_failure_is_recorded_not_panicked() {
+        let cluster = Cluster::builder().localities(2).threads_per(2).build();
+        let _h = cluster.register_action(ActionId(11), |_rt, _id, _x: u64| {
+            panic!("handler must not run on a corrupt payload");
+        });
+        // A 3-byte payload cannot decode as u64.
+        cluster
+            .locality(0)
+            .try_send(Parcel {
+                dest_locality: 1,
+                dest_component: GlobalId(0),
+                action: ActionId(11),
+                payload: Bytes::from_static(&[1, 2, 3]),
+            })
+            .unwrap();
+        cluster.wait_quiescent();
+        let failures = cluster.locality(1).take_failures();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0], Error::Codec(_)));
+        assert_eq!(cluster.transport().counters().get("handler_errors"), 1);
+        // Drained: a second take sees nothing.
+        assert!(cluster.locality(1).take_failures().is_empty());
+    }
+
+    fn lossy_cluster_delivers_effectively_once(kind: TransportKind) {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(0xBEEF)
+            .drop(0.10)
+            .duplicate(0.10)
+            .delay(0.10, 24)
+            .reorder(0.10);
+        let cluster = Cluster::builder()
+            .localities(3)
+            .threads_per(2)
+            .transport(kind)
+            .fault_plan(plan)
+            .reliable(crate::reliable::ReliablePolicy {
+                initial_backoff_ticks: 64,
+                max_backoff_ticks: 1024,
+                max_retries: 64,
+            })
+            .build();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let bump = cluster.register_action(ActionId(12), move |_rt, _id, _x: u64| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let n = 300;
+        for i in 0..n {
+            let from = (i % 3) as usize;
+            let to = ((i + 1) % 3) as u32;
+            cluster
+                .locality(from)
+                .send_action(bump, to, GlobalId(0), &(i as u64))
+                .unwrap();
+        }
+        cluster.wait_quiescent();
+        // Despite drops, duplicates, delays and reordering every action
+        // ran exactly once.
+        assert_eq!(hits.load(Ordering::SeqCst), n, "{kind}");
+        let m = cluster.metrics();
+        let faults = &cluster.fault_layer().unwrap();
+        let injected = faults.fault_counters().get("dropped")
+            + faults.fault_counters().get("duplicated");
+        assert!(injected > 0, "plan must actually have perturbed something");
+        if faults.fault_counters().get("dropped") > 0 {
+            assert!(m.get("parcelport/retries") > 0, "drops must cause retries");
+        }
+        assert!(m.get("parcelport/acks") > 0);
+        assert_eq!(cluster.failed_localities(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn lossy_mpi_delivers_effectively_once() {
+        lossy_cluster_delivers_effectively_once(TransportKind::Mpi);
+    }
+
+    #[test]
+    fn lossy_libfabric_delivers_effectively_once() {
+        lossy_cluster_delivers_effectively_once(TransportKind::Libfabric);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_counted() {
+        use crate::fault::FaultPlan;
+        // Only duplication: no retransmits needed, every dup must be
+        // filtered by the sequence-number watermark.
+        let cluster = Cluster::builder()
+            .localities(2)
+            .threads_per(2)
+            .fault_plan(FaultPlan::seeded(7).duplicate(1.0))
+            .build();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let bump = cluster.register_action(ActionId(13), move |_rt, _id, _x: u8| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..50u8 {
+            cluster.locality(0).send_action(bump, 1, GlobalId(0), &i).unwrap();
+        }
+        cluster.wait_quiescent();
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+        assert!(cluster.metrics().get("parcelport/dup_dropped") >= 50);
+    }
+
+    fn crash_is_detected(kind: TransportKind) {
+        use crate::fault::FaultPlan;
+        let cluster = Cluster::builder()
+            .localities(2)
+            .threads_per(2)
+            .transport(kind)
+            .fault_plan(FaultPlan::seeded(3).crash(1, 5))
+            .reliable(crate::reliable::ReliablePolicy {
+                initial_backoff_ticks: 16,
+                max_backoff_ticks: 64,
+                max_retries: 4,
+            })
+            .build();
+        let bump = cluster.register_action(ActionId(14), |_rt, _id, _x: u64| {});
+        // Locality 1 crashes after its 5th outbound parcel (that
+        // includes the acks it sends for these); keep sending until the
+        // fault layer reports it dead.
+        for i in 0..50u64 {
+            cluster.locality(0).send_action(bump, 1, GlobalId(0), &i).unwrap();
+            if !cluster.failed_localities().is_empty() {
+                break;
+            }
+            cluster.wait_quiescent();
+        }
+        cluster.wait_quiescent();
+        assert_eq!(cluster.failed_localities(), vec![1], "{kind}");
+        let err = cluster.try_wait_quiescent().unwrap_err();
+        assert_eq!(err, Error::LocalityCrashed(1));
+        // The healthy part of the cluster still drains: wait_quiescent
+        // terminated above rather than hanging on the dead peer.
+    }
+
+    #[test]
+    fn crash_is_detected_over_mpi() {
+        crash_is_detected(TransportKind::Mpi);
+    }
+
+    #[test]
+    fn crash_is_detected_over_libfabric() {
+        crash_is_detected(TransportKind::Libfabric);
+    }
+
+    #[test]
+    fn stalled_locality_recovers() {
+        use crate::fault::FaultPlan;
+        let cluster = Cluster::builder()
+            .localities(2)
+            .threads_per(2)
+            .fault_plan(FaultPlan::seeded(9).stall(1, 3, 200))
+            .build();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let bump = cluster.register_action(ActionId(15), move |_rt, _id, _x: u64| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..20u64 {
+            cluster.locality(0).send_action(bump, 1, GlobalId(0), &i).unwrap();
+            cluster.locality(1).send_action(bump, 0, GlobalId(0), &i).unwrap();
+        }
+        cluster.wait_quiescent();
+        assert_eq!(hits.load(Ordering::SeqCst), 40);
+        assert!(cluster.fault_layer().unwrap().fault_counters().get("stalls") >= 1);
+        assert!(cluster.failed_localities().is_empty());
+    }
+
+    #[test]
+    fn reliable_layer_without_faults_is_transparent() {
+        let cluster = Cluster::builder()
+            .localities(2)
+            .threads_per(2)
+            .reliable(crate::reliable::ReliablePolicy::default())
+            .build();
+        let square = cluster.register_request_handler(ActionId(16), |_rt, _id, x: u64| x * x);
+        let loc0 = cluster.locality(0);
+        let f = loc0.call_action(square, 1, GlobalId(0), &12u64).unwrap();
+        assert_eq!(f.get_help(loc0.runtime().scheduler()).unwrap(), 144);
+        cluster.wait_quiescent();
+        let m = cluster.metrics();
+        assert_eq!(m.get("parcelport/retries"), 0);
+        assert!(m.get("parcelport/acks") > 0);
+        assert!(cluster.reliable_layer().is_some());
+        assert!(cluster.fault_layer().is_none());
     }
 }

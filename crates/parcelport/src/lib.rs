@@ -17,6 +17,12 @@
 //!   that "any task scheduling thread may poll ... and set futures to
 //!   received data without any intervening layer".
 //!
+//! Two decorators can be stacked on either backend by the cluster
+//! builder: [`fault`] injects seeded, deterministic parcel and locality
+//! faults (drop/duplicate/delay/reorder, stall/crash), and [`reliable`]
+//! adds ack/retransmit sequencing with duplicate suppression so every
+//! action still runs effectively once under those faults.
+//!
 //! [`netmodel`] captures the quantitative cost model of both transports
 //! (latency, bandwidth, per-message CPU overhead, progress contention),
 //! which the `perfmodel` crate uses to regenerate Figures 2 and 3.
@@ -26,13 +32,17 @@
 
 pub mod cluster;
 pub mod collectives;
+pub mod fault;
 pub mod libfabric_sim;
 pub mod mpi_sim;
 pub mod netmodel;
 pub mod parcel;
+pub mod reliable;
 pub mod serialize;
 
 pub use cluster::{Cluster, ClusterBuilder, Locality};
+pub use fault::{FaultEvent, FaultPlan, FaultyTransport};
 pub use netmodel::{NetParams, TransportKind};
-pub use parcel::{ActionId, ActionRegistry, Parcel};
+pub use parcel::{ActionHandle, ActionId, ActionRegistry, CallHandle, Parcel};
+pub use reliable::{ReliablePolicy, ReliableTransport};
 pub use serialize::{from_bytes, to_bytes, CodecError};

@@ -10,10 +10,13 @@
 //! "run functions close to the objects they operate on" and implicitly
 //! overlap computation and communication.
 
+use crate::serialize::to_bytes;
 use amt::{GlobalId, Runtime};
 use bytes::Bytes;
 use parking_lot::RwLock;
+use serde::Serialize;
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Identifies a remotely executable function. Action ids must be
@@ -41,6 +44,87 @@ impl Parcel {
     /// Header size: locality (4) + component id (8) + action (4) +
     /// payload length (8).
     pub const HEADER_BYTES: usize = 24;
+}
+
+/// A typed handle to a registered fire-and-forget action.
+///
+/// Returned by `Cluster::register_action`; the only way to obtain one
+/// is to register the action, so a send site holding an
+/// `ActionHandle<Req>` is statically guaranteed to (a) name a
+/// registered action and (b) encode the request type the handler
+/// decodes — the raw `(ActionId, Bytes)` mismatch class of bugs is
+/// unrepresentable.
+pub struct ActionHandle<Req> {
+    id: ActionId,
+    _req: PhantomData<fn(&Req)>,
+}
+
+// Manual impls: `ActionHandle` is a copyable token regardless of
+// whether `Req` itself is `Clone`.
+impl<Req> Clone for ActionHandle<Req> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<Req> Copy for ActionHandle<Req> {}
+
+impl<Req> std::fmt::Debug for ActionHandle<Req> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActionHandle({:?})", self.id)
+    }
+}
+
+impl<Req> ActionHandle<Req> {
+    pub(crate) fn new(id: ActionId) -> Self {
+        ActionHandle { id, _req: PhantomData }
+    }
+
+    /// The underlying action id (for metrics/trace labels).
+    pub fn id(&self) -> ActionId {
+        self.id
+    }
+}
+
+impl<Req: Serialize> ActionHandle<Req> {
+    /// Encode a request into the payload this action's handler decodes.
+    /// Useful to serialize once and fan the same payload out to many
+    /// destinations via `Locality::send_encoded`.
+    pub fn encode(&self, req: &Req) -> util::Result<Bytes> {
+        Ok(to_bytes(req)?)
+    }
+}
+
+/// A typed handle to a registered request/response handler, returned by
+/// `Cluster::register_request_handler`. Like [`ActionHandle`] but also
+/// pins the response type, so `Locality::call_action` needs no turbofish
+/// and cannot decode the reply as the wrong type.
+pub struct CallHandle<Req, Resp> {
+    id: ActionId,
+    _sig: PhantomData<fn(&Req) -> Resp>,
+}
+
+impl<Req, Resp> Clone for CallHandle<Req, Resp> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<Req, Resp> Copy for CallHandle<Req, Resp> {}
+
+impl<Req, Resp> std::fmt::Debug for CallHandle<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CallHandle({:?})", self.id)
+    }
+}
+
+impl<Req, Resp> CallHandle<Req, Resp> {
+    pub(crate) fn new(id: ActionId) -> Self {
+        CallHandle { id, _sig: PhantomData }
+    }
+
+    /// The underlying action id.
+    pub fn id(&self) -> ActionId {
+        self.id
+    }
 }
 
 /// The handler type: receives the hosting runtime, the destination

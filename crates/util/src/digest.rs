@@ -1,0 +1,97 @@
+//! Tiny, dependency-free content digests.
+//!
+//! Checkpoints of the distributed driver are digest-protected: the
+//! writer appends an FNV-1a-64 digest of the encoded body and the
+//! reader recomputes it before trusting a single byte. FNV is not
+//! cryptographic — it guards against truncation, bit rot, and version
+//! skew, not adversaries, which is the same contract HPX checkpoints
+//! rely on.
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a-64 hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Fold `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Fold one `u64` (little-endian) into the running digest.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a-64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let a = fnv1a64(&[0u8; 64]);
+        for i in 0..64 {
+            let mut v = [0u8; 64];
+            v[i] = 1;
+            assert_ne!(fnv1a64(&v), a, "flip at {i} must change the digest");
+        }
+    }
+
+    #[test]
+    fn u64_update_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.update_u64(0x0102030405060708);
+        let mut b = Fnv1a::new();
+        b.update(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -29,6 +29,13 @@ pub enum Error {
     Octree(String),
     /// A driver phase failed (missing grid, non-finite dt, ...).
     Driver(String),
+    /// A locality crashed (or was declared dead by the reliable
+    /// delivery layer after its retry budget ran out). The run can be
+    /// continued from the latest checkpoint on a fresh cluster.
+    LocalityCrashed(u32),
+    /// A checkpoint could not be written, decoded, or verified
+    /// (version mismatch, digest mismatch, truncation, ...).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for Error {
@@ -41,6 +48,8 @@ impl std::fmt::Display for Error {
             Error::UnknownAction(id) => write!(f, "unknown action id {id}"),
             Error::Octree(msg) => write!(f, "octree error: {msg}"),
             Error::Driver(msg) => write!(f, "driver error: {msg}"),
+            Error::LocalityCrashed(loc) => write!(f, "locality {loc} crashed"),
+            Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -66,6 +75,8 @@ mod tests {
         assert!(Error::Codec("short read".into()).to_string().contains("short read"));
         assert!(Error::Octree("no leaf".into()).to_string().contains("no leaf"));
         assert!(Error::Driver("bad dt".into()).to_string().contains("bad dt"));
+        assert!(Error::LocalityCrashed(3).to_string().contains("locality 3"));
+        assert!(Error::Checkpoint("bad digest".into()).to_string().contains("bad digest"));
     }
 
     #[test]

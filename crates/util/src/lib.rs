@@ -7,6 +7,7 @@
 //! helpers for `N^3` sub-grids with ghost layers, and streaming statistics
 //! used by the benchmark harnesses.
 
+pub mod digest;
 pub mod error;
 pub mod indexing;
 pub mod morton;
@@ -14,6 +15,7 @@ pub mod stats;
 pub mod units;
 pub mod vec3;
 
+pub use digest::{fnv1a64, Fnv1a};
 pub use error::{Error, Result};
 pub use indexing::{CellIter, GridIndexer};
 pub use morton::{morton_decode, morton_encode, MortonKey};

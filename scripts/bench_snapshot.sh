@@ -32,3 +32,7 @@ echo
 echo "== task-trace timeline (per-category breakdown + overhead) =="
 cargo run --release -p bench --bin trace_timeline -- "${2:-2}" trace_timeline.json \
     || fail "trace_timeline"
+
+echo
+echo "== fault-tolerance overhead (reliable delivery + checkpoint) =="
+cargo run --release -p bench --bin fault_overhead -- "${2:-2}" || fail "fault_overhead"

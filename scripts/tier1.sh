@@ -9,6 +9,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: deprecation budget =="
+# The only #[deprecated] items allowed in the tree are the two
+# one-release Locality::send / Locality::call shims in cluster.rs.
+# Anything else must be migrated or deleted, not parked.
+stray=$(grep -rln --include='*.rs' '#\[deprecated' crates tests \
+    | grep -v '^crates/parcelport/src/cluster.rs$' || true)
+if [ -n "$stray" ]; then
+    echo "!! deprecated items outside the allowed send/call shims:" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+shims=$(grep -c '#\[deprecated' crates/parcelport/src/cluster.rs || true)
+if [ "$shims" -gt 2 ]; then
+    echo "!! cluster.rs has $shims deprecated items; only the send/call shims (2) are allowed" >&2
+    exit 1
+fi
+echo "deprecation budget OK ($shims/2 shims)"
+
+echo
 echo "== tier-1: cargo build --workspace --release =="
 cargo build --workspace --release
 

@@ -223,7 +223,7 @@ fn quiescence_under_interior_sized_halo_blast() {
             Cluster::builder().localities(4).threads_per(2).transport(kind).build();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        cluster.register_action(ActionId(0xD07), move |_rt, _id, p| {
+        cluster.register_raw_action(ActionId(0xD07), move |_rt, _id, p| {
             assert_eq!(p.len(), 14 * 512 * 8);
             h.fetch_add(1, Ordering::SeqCst);
         });
@@ -235,12 +235,15 @@ fn quiescence_under_interior_sized_halo_blast() {
                     if to as usize == from {
                         continue;
                     }
-                    cluster.locality(from).send(Parcel {
-                        dest_locality: to,
-                        dest_component: GlobalId((round * 16 + from) as u64),
-                        action: ActionId(0xD07),
-                        payload: payload.clone(),
-                    });
+                    cluster
+                        .locality(from)
+                        .try_send(Parcel {
+                            dest_locality: to,
+                            dest_component: GlobalId((round * 16 + from) as u64),
+                            action: ActionId(0xD07),
+                            payload: payload.clone(),
+                        })
+                        .unwrap();
                     sent += 1;
                 }
             }

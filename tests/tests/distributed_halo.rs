@@ -3,12 +3,10 @@
 //! reproduce exactly what the shared-memory halo fill computes.
 
 use amt::GlobalId;
-use bytes::Bytes;
 use octree::subgrid::{Field, SubGrid};
 use parcelport::cluster::Cluster;
 use parcelport::netmodel::TransportKind;
-use parcelport::parcel::{ActionId, Parcel};
-use parcelport::serialize::{from_bytes, to_bytes};
+use parcelport::parcel::ActionId;
 use parking_lot_stub::Mutex;
 use std::sync::Arc;
 
@@ -45,8 +43,7 @@ fn exchange_over(kind: TransportKind) {
     let cluster = Cluster::builder().localities(2).threads_per(2).transport(kind).build();
     let received: Arc<Mutex<Option<HaloMsg>>> = Arc::new(Mutex::new(None));
     let sink = Arc::clone(&received);
-    cluster.register_action(ActionId(7), move |_rt, _id, payload: Bytes| {
-        let msg: HaloMsg = from_bytes(&payload).expect("halo decode");
+    let halo = cluster.register_action(ActionId(7), move |_rt, _id, msg: HaloMsg| {
         *sink.lock() = Some(msg);
     });
 
@@ -54,12 +51,7 @@ fn exchange_over(kind: TransportKind) {
     let dir = (-1, 0, 0);
     let slab = a.extract_halo(Field::Rho, dir);
     let msg = HaloMsg { field: Field::Rho.idx(), dir, values: slab };
-    cluster.locality(0).send(Parcel {
-        dest_locality: 1,
-        dest_component: GlobalId(1),
-        action: ActionId(7),
-        payload: to_bytes(&msg).expect("halo encode"),
-    });
+    cluster.locality(0).send_action(halo, 1, GlobalId(1), &msg).expect("halo send");
     cluster.wait_quiescent();
 
     // B applies the received slab; its ghosts must equal A's interior.
@@ -99,8 +91,8 @@ fn all_26_directions_roundtrip_over_the_wire() {
     let cluster = Cluster::builder().localities(2).transport(TransportKind::Libfabric).build();
     let got: Arc<Mutex<Vec<HaloMsg>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&got);
-    cluster.register_action(ActionId(8), move |_rt, _id, payload: Bytes| {
-        sink.lock().push(from_bytes(&payload).expect("decode"));
+    let halo = cluster.register_action(ActionId(8), move |_rt, _id, msg: HaloMsg| {
+        sink.lock().push(msg);
     });
     let mut sent = 0;
     for dx in -1i32..=1 {
@@ -111,12 +103,7 @@ fn all_26_directions_roundtrip_over_the_wire() {
                 }
                 let slab = a.extract_halo(Field::Egas, (dx, dy, dz));
                 let msg = HaloMsg { field: Field::Egas.idx(), dir: (dx, dy, dz), values: slab };
-                cluster.locality(0).send(Parcel {
-                    dest_locality: 1,
-                    dest_component: GlobalId(0),
-                    action: ActionId(8),
-                    payload: to_bytes(&msg).expect("encode"),
-                });
+                cluster.locality(0).send_action(halo, 1, GlobalId(0), &msg).expect("halo send");
                 sent += 1;
             }
         }
