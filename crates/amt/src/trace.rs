@@ -84,8 +84,16 @@ pub enum TraceCategory {
     FmmP2M,
     /// FMM upward pass: child-to-parent moment reduction (M2M).
     FmmM2M,
-    /// FMM same-level pass: multipole-to-local + near-field for one node.
+    /// FMM same-level pass: halo gather building one node's extended
+    /// SoA moment grid.
+    FmmGather,
+    /// FMM same-level pass: multipole-to-local for one target-cell
+    /// chunk of a node.
     FmmSameLevel,
+    /// FMM near-field pass: leaf-only P2P for one target-cell chunk
+    /// (split out of `fmm/same-level` so the breakdown attributes P2P
+    /// work correctly).
+    FmmNearField,
     /// FMM downward pass: parent-to-child local expansion shift (L2L).
     FmmL2L,
     /// FMM leaf assembly: folding local expansions into accelerations.
@@ -128,7 +136,9 @@ serde::impl_codec_enum_unit!(TraceCategory {
     Idle,
     FmmP2M,
     FmmM2M,
+    FmmGather,
     FmmSameLevel,
+    FmmNearField,
     FmmL2L,
     FmmLeafAssembly,
     GpuLaunch,
@@ -156,7 +166,9 @@ impl TraceCategory {
         TraceCategory::Idle,
         TraceCategory::FmmP2M,
         TraceCategory::FmmM2M,
+        TraceCategory::FmmGather,
         TraceCategory::FmmSameLevel,
+        TraceCategory::FmmNearField,
         TraceCategory::FmmL2L,
         TraceCategory::FmmLeafAssembly,
         TraceCategory::GpuLaunch,
@@ -185,7 +197,9 @@ impl TraceCategory {
             TraceCategory::Idle => "sched/idle",
             TraceCategory::FmmP2M => "fmm/p2m",
             TraceCategory::FmmM2M => "fmm/m2m",
+            TraceCategory::FmmGather => "fmm/gather",
             TraceCategory::FmmSameLevel => "fmm/same-level",
+            TraceCategory::FmmNearField => "fmm/near-field",
             TraceCategory::FmmL2L => "fmm/l2l",
             TraceCategory::FmmLeafAssembly => "fmm/leaf-assembly",
             TraceCategory::GpuLaunch => "fmm/gpu-launch",

@@ -3,19 +3,24 @@
 //! Times the real solver (not the performance model) on the
 //! `single_star` scenario tree at level 2: the serial walk against
 //! `solve_parallel` at 1, 2 and 4 workers, in processed sub-grids per
-//! second (the paper's throughput metric), plus the GPU/CPU
-//! kernel-launch split through the §5.1 routing and the scratch-pool
-//! hit rate.
+//! second (the paper's throughput metric). The full worker→throughput
+//! curve is recorded (`speedup_vs_serial` per worker count — a single
+//! "speedup at 4 threads" number hid the fact that *every* parallel
+//! row used to lose to serial), plus per-category task-span maxima
+//! from a traced solve (the chunking target: no monolithic
+//! `fmm/same-level` task), the GPU/CPU kernel-launch split through the
+//! §5.1 routing, and the scratch-pool hit rate.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fmm_snapshot
 //! ```
 //!
-//! The speedup column only reflects parallel scaling when the host has
+//! The speedup rows only reflect parallel scaling when the host has
 //! at least as many CPUs as workers; `host_cpus` is recorded so a
 //! 1-CPU CI box's numbers aren't mistaken for a scaling regression.
 //! Bit-identity of the parallel solve is asserted on every run.
 
+use amt::trace::TraceSession;
 use amt::Runtime;
 use gravity::gpu::GpuContext;
 use gravity::solver::FmmSolver;
@@ -59,6 +64,7 @@ fn main() {
 
     // Serial reference.
     let solver = Arc::new(FmmSolver::new(0.5));
+    let chunk_cells = solver.chunk_cells();
     let serial_s = time_per_run(iters, || {
         let f = solver.solve(&tree);
         assert!(f.interactions > 0);
@@ -88,6 +94,33 @@ fn main() {
     }
     let cpu_rt = cpu_rt.expect("thread loop ran");
 
+    // Per-category task spans of one traced 4-worker solve: with the
+    // same-level pass chunked, the longest `fmm/same-level` task must
+    // be a slab, not a whole node.
+    let session = TraceSession::begin();
+    let traced = solver.solve_parallel(&tree, &cpu_rt);
+    assert_eq!(traced.interactions, reference.interactions);
+    let trace = session.end();
+    let spans: Vec<_> = trace
+        .summary()
+        .into_iter()
+        .filter(|s| s.count > 0 && s.cat.as_str().starts_with("fmm/"))
+        .collect();
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<22} {:>8} {:>12} {:>14}",
+        "task spans (4 wk)", "count", "total ms", "max span µs"
+    );
+    for s in &spans {
+        println!(
+            "{:<22} {:>8} {:>12.3} {:>14.1}",
+            s.cat.as_str(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e3
+        );
+    }
+
     // Launch split through the simulated GPU (P100, 4 streams over 4
     // workers, CPU fallback when the worker's streams are busy).
     let dev = Device::new(DeviceSpec::p100(), 4);
@@ -114,11 +147,13 @@ fn main() {
     let cpu_snap = cpu_rt.metrics().snapshot();
     let hits = cpu_snap.get("fmm/scratch_hits").copied().unwrap_or(0);
     let misses = cpu_snap.get("fmm/scratch_misses").copied().unwrap_or(0);
+    let chunks = cpu_snap.get("fmm/chunks").copied().unwrap_or(0);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     println!(
         "scratch pool: {hits} hits / {misses} misses  ({:.1}% hit rate)",
         100.0 * hit_rate
     );
+    println!("chunk size: {chunk_cells} cells ({chunks} chunk tasks over the timed solves)");
 
     // Hand-rolled JSON (no serde_json in the offline workspace).
     let mut json = String::new();
@@ -126,6 +161,7 @@ fn main() {
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"subgrids_per_solve\": {leaves},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"chunk_cells\": {chunk_cells},");
     let _ = writeln!(json, "  \"serial_subgrids_per_sec\": {serial_rate:.2},");
     json.push_str("  \"parallel_subgrids_per_sec\": {");
     for (i, (threads, rate)) in thread_rates.iter().enumerate() {
@@ -135,12 +171,28 @@ fn main() {
         let _ = write!(json, "\"{threads}\": {rate:.2}");
     }
     json.push_str("},\n");
-    let speedup4 = thread_rates
-        .iter()
-        .find(|(t, _)| *t == 4)
-        .map(|(_, r)| r / serial_rate)
-        .unwrap_or(0.0);
-    let _ = writeln!(json, "  \"speedup_4_threads\": {speedup4:.3},");
+    json.push_str("  \"speedup_vs_serial\": {");
+    for (i, (threads, rate)) in thread_rates.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{threads}\": {:.3}", rate / serial_rate);
+    }
+    json.push_str("},\n");
+    json.push_str("  \"task_spans\": {\n");
+    for (i, s) in spans.iter().enumerate() {
+        let comma = if i + 1 == spans.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"count\": {}, \"total_ms\": {:.3}, \"max_task_span_us\": {:.1} }}{comma}",
+            s.cat.as_str(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e3
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"chunk_tasks\": {chunks},");
     let _ = writeln!(json, "  \"kernel_launches_gpu\": {launches_gpu},");
     let _ = writeln!(json, "  \"kernel_launches_cpu\": {launches_cpu},");
     let _ = writeln!(

@@ -96,7 +96,8 @@ fn run_distributed(steps: usize, traced: bool) -> (f64, Vec<u64>, u64, Option<Tr
 fn bucket(cat: TraceCategory) -> Option<&'static str> {
     use TraceCategory::*;
     Some(match cat {
-        FmmP2M | FmmM2M | FmmSameLevel | FmmL2L | FmmLeafAssembly | GpuLaunch => "fmm",
+        FmmP2M | FmmM2M | FmmGather | FmmSameLevel | FmmNearField | FmmL2L | FmmLeafAssembly
+        | GpuLaunch => "fmm",
         HydroRhs | HydroApply => "hydro",
         HaloFill | HaloExchange | MomentExchange | ParcelSend | ParcelRecv => "halo",
         Idle => "idle",

@@ -16,6 +16,9 @@ pub struct Config {
     pub gravity: bool,
     /// FMM opening parameter θ.
     pub theta: f64,
+    /// Target cells per FMM same-level chunk task (normalized to whole
+    /// 8-cell rows by the solver; 512 = one task per node).
+    pub fmm_chunk_cells: usize,
     /// Physical boundary condition.
     pub bc: BoundaryCondition,
     /// Scheduler worker threads for the futurized update.
@@ -34,6 +37,7 @@ impl Default for Config {
             omega: 0.0,
             gravity: false,
             theta: 0.5,
+            fmm_chunk_cells: gravity::solver::default_chunk_cells(),
             bc: BoundaryCondition::Outflow,
             threads: 4,
             floors: false,
@@ -62,6 +66,7 @@ impl Config {
     pub fn validate(&self) {
         assert!(self.cfl > 0.0 && self.cfl < 1.0, "CFL out of range");
         assert!(self.theta > 0.0 && self.theta <= 1.0, "theta out of range");
+        assert!(self.fmm_chunk_cells >= 1, "need a positive chunk size");
         assert!(self.threads >= 1, "need at least one thread");
     }
 }

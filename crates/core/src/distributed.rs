@@ -149,7 +149,12 @@ impl DistributedDriver {
     /// collectives on every locality — one driver per cluster.
     pub fn new(scenario: Scenario, cluster: Arc<Cluster>) -> Result<DistributedDriver> {
         scenario.config.validate();
-        let config = scenario.config;
+        let mut config = scenario.config;
+        // A cluster-level chunk-size override wins over the scenario's,
+        // so one builder call configures every locality's solver.
+        if let Some(n) = cluster.fmm_chunk_cells() {
+            config.fmm_chunk_cells = n;
+        }
         let tree = scenario.tree;
         let n = cluster.len();
         let shard = ShardMap::partition(&tree, n)?;
@@ -228,7 +233,9 @@ impl DistributedDriver {
             expected_moment_inbound,
             config,
             stepper: HydroStepper::new(config.eos),
-            solver: config.gravity.then(|| Arc::new(FmmSolver::new(config.theta))),
+            solver: config.gravity.then(|| {
+                Arc::new(FmmSolver::new(config.theta).with_chunk_cells(config.fmm_chunk_cells))
+            }),
             frame: RotatingFrame::new(config.omega),
             time: 0.0,
             steps: 0,
@@ -241,6 +248,13 @@ impl DistributedDriver {
     /// The cluster this driver runs over.
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// The effective FMM same-level chunk size of every locality's
+    /// solver (`None` when gravity is off). Reflects the cluster-level
+    /// override when one was set.
+    pub fn fmm_chunk_cells(&self) -> Option<usize> {
+        self.solver.as_ref().map(|s| s.chunk_cells())
     }
 
     /// The leaf → locality assignment.

@@ -147,13 +147,21 @@ impl Simulation {
             tree: Arc::new(scenario.tree),
             config,
             stepper: HydroStepper::new(config.eos),
-            solver: config.gravity.then(|| Arc::new(FmmSolver::new(config.theta))),
+            solver: config.gravity.then(|| {
+                Arc::new(FmmSolver::new(config.theta).with_chunk_cells(config.fmm_chunk_cells))
+            }),
             frame: RotatingFrame::new(config.omega),
             rt: Runtime::new(config.threads),
             time: 0.0,
             steps: 0,
             subgrids_processed: 0,
         }
+    }
+
+    /// The effective FMM same-level chunk size of this simulation's
+    /// solver (`None` when gravity is off).
+    pub fn fmm_chunk_cells(&self) -> Option<usize> {
+        self.solver.as_ref().map(|s| s.chunk_cells())
     }
 
     /// The current tree.

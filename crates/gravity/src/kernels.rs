@@ -25,12 +25,34 @@
 //! 1.0 is exact in IEEE arithmetic, so present pairs are bit-identical
 //! to the branchy formulation. `present` is retained only for
 //! [`MomentGrid::get`] semantics and the interaction counters.
+//!
+//! **Explicit SIMD.** On top of the branchless form, the kernels are
+//! explicitly vectorized with the hand-rolled [`util::simd::F64x4`]
+//! lane type (the "Merging Frameworks" follow-up's SIMD types). Lanes
+//! map to *target cells* — four k-adjacent cells for the offset
+//! kernels, the four same-parity stride-2 cells of a row for the
+//! parity-stencil kernels — so each cell's accumulation order over its
+//! offset list is exactly the scalar kernel's and the results are
+//! bit-identical by construction (see DESIGN.md "Chunking & SIMD").
+//! A scalar tail handles ranges that don't fill a lane group.
+//!
+//! **Cache-blocked ranges.** Every kernel also comes in a
+//! `*_range_into` form restricted to a slab `[start, end)` of the
+//! interior linear index (`(i·8 + j)·8 + k`, k fastest). The chunked
+//! solver (`FmmSolver`) launches one task per slab and concatenates
+//! the slabs in index order, which reproduces the monolithic kernel's
+//! output exactly — each cell is owned by exactly one slab and its
+//! per-offset accumulation never crosses slab boundaries.
 
 use crate::expansion::LocalExpansion;
 use crate::multipole::Multipole;
 use crate::stencil::Stencil;
 use octree::subgrid::N_SUB;
+use util::simd::F64x4;
 use util::vec3::Vec3;
+
+/// Number of interior cells in a sub-grid (`N_SUB³`).
+pub const N_CELLS: usize = N_SUB * N_SUB * N_SUB;
 
 /// Struct-of-arrays moment storage over an extended grid of
 /// `(N_SUB + 2·width)³` cells (interior + stencil halo).
@@ -132,17 +154,26 @@ pub struct KernelResult {
     pub interactions: u64,
 }
 
+/// Flattened interior-cell linear index `(i·8 + j)·8 + k` (k fastest) —
+/// the index the cache-blocked slabs of the chunked solver range over.
 #[inline]
-fn interior_index(i: isize, j: isize, k: isize) -> usize {
+pub fn interior_index(i: isize, j: isize, k: isize) -> usize {
     ((i * N_SUB as isize + j) * N_SUB as isize + k) as usize
 }
 
-/// Reset `out` to `N_SUB³` default expansions without shrinking its
+/// Reset `out` to `n` default expansions without shrinking its
 /// capacity (zero-allocation on reuse).
 #[inline]
-fn reset_expansions(out: &mut Vec<LocalExpansion>) {
+fn reset_expansions_n(out: &mut Vec<LocalExpansion>, n: usize) {
     out.clear();
-    out.resize(N_SUB * N_SUB * N_SUB, LocalExpansion::default());
+    out.resize(n, LocalExpansion::default());
+}
+
+/// Decompose an interior linear index `(i·8 + j)·8 + k` into `(i, j, k)`.
+#[inline]
+fn interior_coords(c: usize) -> (isize, isize, isize) {
+    let n = N_SUB;
+    ((c / (n * n)) as isize, ((c / n) % n) as isize, (c % n) as isize)
 }
 
 /// Branchless monopole accumulation: all contributions are weighted by
@@ -185,8 +216,215 @@ fn accum_multipole(grid: &MomentGrid, t_idx: usize, s_idx: usize, e: &mut LocalE
     e.accumulate_softened(&tgt, &src, tgt.com - src.com, 1.0 - w);
 }
 
+/// Lane-wise kernel tensors: [`crate::tensors::KernelTensors`] with
+/// every scalar replaced by an [`F64x4`] lane group. Each lane performs
+/// *exactly* the scalar evaluation's operation sequence, so lane `l`
+/// holds the bit pattern `KernelTensors::at_softened` would produce for
+/// that lane's separation.
+struct KernelTensorsX4 {
+    b0: F64x4,
+    b1: [F64x4; 3],
+    b2: [F64x4; 6],
+    b3: [F64x4; 10],
+}
+
+impl KernelTensorsX4 {
+    #[inline(always)]
+    fn at_softened(d: [F64x4; 3], soft: F64x4) -> KernelTensorsX4 {
+        use crate::tensors::{SYM2, SYM3};
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + soft;
+        for l in 0..4 {
+            assert!(r2.lane(l) > 0.0, "kernel tensors undefined at zero separation");
+        }
+        let u2 = F64x4::splat(1.0) / r2;
+        let u = u2.sqrt();
+        let u3 = u * u2;
+        let u5 = u3 * u2;
+        let u7 = u5 * u2;
+        let mut b2 = [F64x4::zero(); 6];
+        for (n, (a, b)) in SYM2.iter().enumerate() {
+            let delta = if a == b { 1.0 } else { 0.0 };
+            b2[n] = F64x4::splat(delta) * u3 - d[*a] * 3.0 * d[*b] * u5;
+        }
+        let mut b3 = [F64x4::zero(); 10];
+        for (n, (a, b, c)) in SYM3.iter().enumerate() {
+            let dab = if a == b { 1.0 } else { 0.0 };
+            let dac = if a == c { 1.0 } else { 0.0 };
+            let dbc = if b == c { 1.0 } else { 0.0 };
+            b3[n] = (d[*c] * dab + d[*b] * dac + d[*a] * dbc) * -3.0 * u5
+                + d[*a] * 15.0 * d[*b] * d[*c] * u7;
+        }
+        KernelTensorsX4 {
+            b0: -u,
+            b1: [d[0] * u3, d[1] * u3, d[2] * u3],
+            b2,
+            b3,
+        }
+    }
+
+    #[inline(always)]
+    fn contract_q_b2(&self, q: &[F64x4; 6]) -> F64x4 {
+        use crate::tensors::SYM2_MULT;
+        let mut s = F64x4::zero();
+        for n in 0..6 {
+            s += q[n] * SYM2_MULT[n] * self.b2[n];
+        }
+        s
+    }
+
+    #[inline(always)]
+    fn contract_q_b3(&self, q: &[F64x4; 6]) -> [F64x4; 3] {
+        use crate::tensors::{SYM2, SYM2_MULT, SYM3_INDEX};
+        let mut v = [F64x4::zero(); 3];
+        for (n2, (b, c)) in SYM2.iter().enumerate() {
+            let w = q[n2] * SYM2_MULT[n2];
+            for (a, va) in v.iter_mut().enumerate() {
+                *va += w * self.b3[SYM3_INDEX[a][*b][*c]];
+            }
+        }
+        v
+    }
+}
+
+/// Four-cell monopole accumulation: lane `l` is target slot
+/// `t0 + l·stride` / source slot `s0 + l·stride`, scattered into
+/// `out[o0 + l·o_stride]`. Mirrors [`accum_monopole`]'s operation
+/// sequence per lane, so each cell's result is bit-identical to four
+/// scalar calls.
+#[inline(always)]
+fn accum_monopole_x4(
+    grid: &MomentGrid,
+    t0: usize,
+    s0: usize,
+    stride: usize,
+    out: &mut [LocalExpansion],
+    o0: usize,
+    o_stride: usize,
+) {
+    let w = F64x4::gather(&grid.mask, t0, stride) * F64x4::gather(&grid.mask, s0, stride);
+    let dx = F64x4::gather(&grid.comx, t0, stride) - F64x4::gather(&grid.comx, s0, stride);
+    let dy = F64x4::gather(&grid.comy, t0, stride) - F64x4::gather(&grid.comy, s0, stride);
+    let dz = F64x4::gather(&grid.comz, t0, stride) - F64x4::gather(&grid.comz, s0, stride);
+    let r2 = dx * dx + dy * dy + dz * dz + (F64x4::splat(1.0) - w);
+    let u = w / r2.sqrt();
+    let u3 = u / r2;
+    let ms = F64x4::gather(&grid.m, s0, stride);
+    let mt = F64x4::gather(&grid.m, t0, stride);
+    for l in 0..4 {
+        let e = &mut out[o0 + l * o_stride];
+        let d = Vec3::new(dx.lane(l), dy.lane(l), dz.lane(l));
+        e.phi += ms.lane(l) * (-u.lane(l));
+        e.dphi += d * (ms.lane(l) * u3.lane(l));
+        e.force += d * (u3.lane(l) * (-(mt.lane(l) * ms.lane(l))));
+    }
+}
+
+/// Four-cell multipole accumulation (see [`accum_monopole_x4`] for the
+/// lane layout). Mirrors [`accum_multipole`] +
+/// [`LocalExpansion::accumulate_softened`] per lane: same operand
+/// order, same association, with the source-quadrupole B3 contraction
+/// computed once and reused (the scalar path evaluates it twice with
+/// identical bits).
+#[inline(always)]
+fn accum_multipole_x4(
+    grid: &MomentGrid,
+    t0: usize,
+    s0: usize,
+    stride: usize,
+    out: &mut [LocalExpansion],
+    o0: usize,
+    o_stride: usize,
+) {
+    let w = F64x4::gather(&grid.mask, t0, stride) * F64x4::gather(&grid.mask, s0, stride);
+    let mt = F64x4::gather(&grid.m, t0, stride);
+    let ms = F64x4::gather(&grid.m, s0, stride) * w;
+    let qt: [F64x4; 6] = std::array::from_fn(|c| F64x4::gather(&grid.q[c], t0, stride));
+    let qs: [F64x4; 6] = std::array::from_fn(|c| F64x4::gather(&grid.q[c], s0, stride) * w);
+    let d = [
+        F64x4::gather(&grid.comx, t0, stride) - F64x4::gather(&grid.comx, s0, stride),
+        F64x4::gather(&grid.comy, t0, stride) - F64x4::gather(&grid.comy, s0, stride),
+        F64x4::gather(&grid.comz, t0, stride) - F64x4::gather(&grid.comz, s0, stride),
+    ];
+    let t = KernelTensorsX4::at_softened(d, F64x4::splat(1.0) - w);
+    // φ and its derivatives from the source moments.
+    let d_phi = ms * t.b0 + t.contract_q_b2(&qs) * 0.5;
+    let cq3_s = t.contract_q_b3(&qs);
+    let grad_quad_s = [cq3_s[0] * 0.5, cq3_s[1] * 0.5, cq3_s[2] * 0.5];
+    let d_dphi: [F64x4; 3] = std::array::from_fn(|a| t.b1[a] * ms + grad_quad_s[a]);
+    let d_d2phi: [F64x4; 6] = std::array::from_fn(|n| ms * t.b2[n]);
+    // Pair force in canonical, mirror-exact term forms.
+    let neg_mm = -(mt * ms);
+    let f_mono: [F64x4; 3] = std::array::from_fn(|a| t.b1[a] * neg_mm);
+    let s_qs = mt * -0.5;
+    let f_qs: [F64x4; 3] = std::array::from_fn(|a| cq3_s[a] * s_qs);
+    let cq3_t = t.contract_q_b3(&qt);
+    let s_qt = ms * -0.5;
+    let f_qt: [F64x4; 3] = std::array::from_fn(|a| cq3_t[a] * s_qt);
+    let f_quad: [F64x4; 3] = std::array::from_fn(|a| f_qs[a] + f_qt[a]);
+    // torque += −d × f_quad · ½, component-wise as Vec3::cross computes it.
+    let d_torque = [
+        -(d[1] * f_quad[2] - d[2] * f_quad[1]) * 0.5,
+        -(d[2] * f_quad[0] - d[0] * f_quad[2]) * 0.5,
+        -(d[0] * f_quad[1] - d[1] * f_quad[0]) * 0.5,
+    ];
+    for l in 0..4 {
+        let e = &mut out[o0 + l * o_stride];
+        e.phi += d_phi.lane(l);
+        e.dphi += Vec3::new(d_dphi[0].lane(l), d_dphi[1].lane(l), d_dphi[2].lane(l));
+        for n in 0..6 {
+            e.d2phi[n] += d_d2phi[n].lane(l);
+        }
+        e.force += Vec3::new(f_mono[0].lane(l), f_mono[1].lane(l), f_mono[2].lane(l));
+        e.force += Vec3::new(f_qs[0].lane(l), f_qs[1].lane(l), f_qs[2].lane(l));
+        e.force += Vec3::new(f_qt[0].lane(l), f_qt[1].lane(l), f_qt[2].lane(l));
+        e.f_corr += Vec3::new(f_qt[0].lane(l), f_qt[1].lane(l), f_qt[2].lane(l));
+        e.torque += Vec3::new(d_torque[0].lane(l), d_torque[1].lane(l), d_torque[2].lane(l));
+    }
+}
+
 macro_rules! offset_kernel {
-    ($name:ident, $name_into:ident, $accum:ident, $doc:literal) => {
+    ($name:ident, $name_into:ident, $name_range_into:ident, $accum:ident, $accum_x4:ident, $doc:literal) => {
+        #[doc = $doc]
+        /// Restricted to the target-cell slab `[start, end)` of the
+        /// interior linear index; `out` gets `end − start` expansions,
+        /// slab cell `c` at `out[c − start]`. Lane groups of four
+        /// k-adjacent cells run through the [`F64x4`] path; a scalar
+        /// tail covers the rest. Returns the interaction count.
+        pub fn $name_range_into(
+            grid: &MomentGrid,
+            offsets: &[(i32, i32, i32)],
+            start: usize,
+            end: usize,
+            out: &mut Vec<LocalExpansion>,
+        ) -> u64 {
+            assert!(start <= end && end <= N_CELLS);
+            reset_expansions_n(out, end - start);
+            let mut interactions = 0u64;
+            for &(dx, dy, dz) in offsets {
+                let mut c = start;
+                while c < end {
+                    let (i, j, k) = interior_coords(c);
+                    let t_idx = grid.idx(i, j, k);
+                    let s_idx = grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
+                    if k + 4 <= N_SUB as isize && c + 4 <= end {
+                        // Four k-adjacent targets: contiguous in both the
+                        // extended grid (k fastest) and the output slab.
+                        $accum_x4(grid, t_idx, s_idx, 1, out, c - start, 1);
+                        for l in 0..4 {
+                            interactions +=
+                                (grid.present[t_idx + l] & grid.present[s_idx + l]) as u64;
+                        }
+                        c += 4;
+                    } else {
+                        $accum(grid, t_idx, s_idx, &mut out[c - start]);
+                        interactions += (grid.present[t_idx] & grid.present[s_idx]) as u64;
+                        c += 1;
+                    }
+                }
+            }
+            interactions
+        }
+
         #[doc = $doc]
         /// Writes into a caller-provided buffer (reset first); returns
         /// the interaction count.
@@ -195,24 +433,7 @@ macro_rules! offset_kernel {
             offsets: &[(i32, i32, i32)],
             out: &mut Vec<LocalExpansion>,
         ) -> u64 {
-            let n = N_SUB as isize;
-            reset_expansions(out);
-            let mut interactions = 0u64;
-            for &(dx, dy, dz) in offsets {
-                for i in 0..n {
-                    for j in 0..n {
-                        for k in 0..n {
-                            let t_idx = grid.idx(i, j, k);
-                            let s_idx =
-                                grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
-                            $accum(grid, t_idx, s_idx, &mut out[interior_index(i, j, k)]);
-                            interactions +=
-                                (grid.present[t_idx] & grid.present[s_idx]) as u64;
-                        }
-                    }
-                }
-            }
-            interactions
+            $name_range_into(grid, offsets, 0, N_CELLS, out)
         }
 
         #[doc = $doc]
@@ -227,13 +448,17 @@ macro_rules! offset_kernel {
 offset_kernel!(
     monopole_kernel,
     monopole_kernel_into,
+    monopole_kernel_range_into,
     accum_monopole,
+    accum_monopole_x4,
     "Monopole–monopole kernel: point masses only (leaf/leaf node pairs). Applies `offsets` to every interior cell."
 );
 offset_kernel!(
     multipole_kernel,
     multipole_kernel_into,
+    multipole_kernel_range_into,
     accum_multipole,
+    accum_multipole_x4,
     "The combined multipole kernel: full M2L with quadrupoles and conservation corrections, for every interior cell over `offsets`."
 );
 
@@ -278,7 +503,62 @@ fn parity_of(i: isize, j: isize, k: isize) -> u8 {
 }
 
 macro_rules! parity_kernel {
-    ($name:ident, $name_into:ident, $accum:ident) => {
+    ($name:ident, $name_into:ident, $name_range_into:ident, $accum:ident, $accum_x4:ident) => {
+        /// Parity-exact same-level kernel restricted to the target-cell
+        /// slab `[start, end)` of the interior linear index: each cell
+        /// uses the offset list of its parity, so every pair is owned
+        /// by exactly one level of the tree walk. `out` gets
+        /// `end − start` expansions, slab cell `c` at `out[c − start]`.
+        /// A fully contained row vectorizes as two [`F64x4`] groups of
+        /// four same-parity stride-2 cells (k parity alternates along a
+        /// row, so same-parity cells share the offset list); partial
+        /// rows take the scalar path. Returns the interaction count.
+        pub fn $name_range_into(
+            grid: &MomentGrid,
+            stencil: &Stencil,
+            start: usize,
+            end: usize,
+            out: &mut Vec<LocalExpansion>,
+        ) -> u64 {
+            assert!(start <= end && end <= N_CELLS);
+            reset_expansions_n(out, end - start);
+            let mut interactions = 0u64;
+            let mut c = start;
+            while c < end {
+                let (i, j, k) = interior_coords(c);
+                if k == 0 && c + N_SUB <= end {
+                    // Whole row: the four even-k cells, then the four
+                    // odd-k cells, each group one lane pass.
+                    for k0 in 0..2isize {
+                        let t0 = grid.idx(i, j, k0);
+                        let offsets = stencil.for_parity(parity_of(i, j, k0));
+                        for &(dx, dy, dz) in offsets {
+                            let s0 =
+                                grid.idx(i + dx as isize, j + dy as isize, k0 + dz as isize);
+                            $accum_x4(grid, t0, s0, 2, out, c - start + k0 as usize, 2);
+                            for l in 0..4 {
+                                interactions += (grid.present[t0 + 2 * l]
+                                    & grid.present[s0 + 2 * l])
+                                    as u64;
+                            }
+                        }
+                    }
+                    c += N_SUB;
+                } else {
+                    let t_idx = grid.idx(i, j, k);
+                    let e = &mut out[c - start];
+                    let offsets = stencil.for_parity(parity_of(i, j, k));
+                    for &(dx, dy, dz) in offsets {
+                        let s_idx = grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
+                        $accum(grid, t_idx, s_idx, e);
+                        interactions += (grid.present[t_idx] & grid.present[s_idx]) as u64;
+                    }
+                    c += 1;
+                }
+            }
+            interactions
+        }
+
         /// Parity-exact same-level kernel (buffer-reusing variant):
         /// each cell uses the offset list of its parity, so every pair
         /// is owned by exactly one level of the tree walk.
@@ -287,26 +567,7 @@ macro_rules! parity_kernel {
             stencil: &Stencil,
             out: &mut Vec<LocalExpansion>,
         ) -> u64 {
-            let n = N_SUB as isize;
-            reset_expansions(out);
-            let mut interactions = 0u64;
-            for i in 0..n {
-                for j in 0..n {
-                    for k in 0..n {
-                        let t_idx = grid.idx(i, j, k);
-                        let e = &mut out[interior_index(i, j, k)];
-                        let offsets = stencil.for_parity(parity_of(i, j, k));
-                        for &(dx, dy, dz) in offsets {
-                            let s_idx =
-                                grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
-                            $accum(grid, t_idx, s_idx, e);
-                            interactions +=
-                                (grid.present[t_idx] & grid.present[s_idx]) as u64;
-                        }
-                    }
-                }
-            }
-            interactions
+            $name_range_into(grid, stencil, 0, N_CELLS, out)
         }
 
         /// Parity-exact same-level kernel: each cell uses the offset
@@ -320,8 +581,20 @@ macro_rules! parity_kernel {
     };
 }
 
-parity_kernel!(monopole_kernel_stencil, monopole_kernel_stencil_into, accum_monopole);
-parity_kernel!(multipole_kernel_stencil, multipole_kernel_stencil_into, accum_multipole);
+parity_kernel!(
+    monopole_kernel_stencil,
+    monopole_kernel_stencil_into,
+    monopole_kernel_stencil_range_into,
+    accum_monopole,
+    accum_monopole_x4
+);
+parity_kernel!(
+    multipole_kernel_stencil,
+    multipole_kernel_stencil_into,
+    multipole_kernel_stencil_range_into,
+    accum_multipole,
+    accum_multipole_x4
+);
 
 #[cfg(test)]
 mod tests {
@@ -500,6 +773,175 @@ mod tests {
             assert!(res.expansions.iter().all(|e| e.phi.is_finite()
                 && e.dphi.norm().is_finite()
                 && e.force.norm().is_finite()));
+        }
+    }
+
+    /// Splitmix64 — deterministic pseudo-random doubles in [-1, 1).
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+
+    /// A random moment grid: jittered centres, irregular masses and
+    /// quadrupoles, ~1/8 of slots absent (mask = 0).
+    fn random_grid(width: i32, seed: u64) -> MomentGrid {
+        let mut state = seed;
+        let mut grid = MomentGrid::new(width);
+        let w = width as isize;
+        let n = N_SUB as isize;
+        for i in -w..n + w {
+            for j in -w..n + w {
+                for k in -w..n + w {
+                    let m = 1.0 + 0.5 * splitmix(&mut state);
+                    let com = Vec3::new(
+                        i as f64 + 0.2 * splitmix(&mut state),
+                        j as f64 + 0.2 * splitmix(&mut state),
+                        k as f64 + 0.2 * splitmix(&mut state),
+                    );
+                    let q = std::array::from_fn(|_| 0.05 * splitmix(&mut state));
+                    let absent = splitmix(&mut state) < -0.75;
+                    if !absent {
+                        grid.set(i, j, k, &Multipole { m, com, q });
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    fn assert_expansion_bits(a: &LocalExpansion, b: &LocalExpansion, what: &str) {
+        assert_eq!(a.phi.to_bits(), b.phi.to_bits(), "{what}: phi");
+        for ax in 0..3 {
+            assert_eq!(a.dphi[ax].to_bits(), b.dphi[ax].to_bits(), "{what}: dphi");
+            assert_eq!(a.force[ax].to_bits(), b.force[ax].to_bits(), "{what}: force");
+            assert_eq!(a.f_corr[ax].to_bits(), b.f_corr[ax].to_bits(), "{what}: f_corr");
+            assert_eq!(a.torque[ax].to_bits(), b.torque[ax].to_bits(), "{what}: torque");
+        }
+        for nn in 0..6 {
+            assert_eq!(a.d2phi[nn].to_bits(), b.d2phi[nn].to_bits(), "{what}: d2phi");
+        }
+    }
+
+    /// The `F64x4` kernels must match the scalar accumulation loops
+    /// bit-for-bit on random moment grids — the vectorization contract.
+    #[test]
+    fn simd_kernels_match_scalar_bit_for_bit() {
+        let s = Stencil::octotiger();
+        for seed in [0x5eed_0001u64, 0x5eed_0002] {
+            let grid = random_grid(s.width(), seed);
+
+            // Scalar references: the pre-SIMD loops, one accum per
+            // (offset, cell) pair in the original order.
+            let scalar_offset = |accum: fn(&MomentGrid, usize, usize, &mut LocalExpansion)| {
+                let mut out = vec![LocalExpansion::default(); N_CELLS];
+                let n = N_SUB as isize;
+                for &(dx, dy, dz) in s.offsets() {
+                    for i in 0..n {
+                        for j in 0..n {
+                            for k in 0..n {
+                                let t_idx = grid.idx(i, j, k);
+                                let s_idx =
+                                    grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
+                                accum(&grid, t_idx, s_idx, &mut out[interior_index(i, j, k)]);
+                            }
+                        }
+                    }
+                }
+                out
+            };
+            let scalar_stencil = |accum: fn(&MomentGrid, usize, usize, &mut LocalExpansion)| {
+                let mut out = vec![LocalExpansion::default(); N_CELLS];
+                let n = N_SUB as isize;
+                for i in 0..n {
+                    for j in 0..n {
+                        for k in 0..n {
+                            let t_idx = grid.idx(i, j, k);
+                            let e = &mut out[interior_index(i, j, k)];
+                            for &(dx, dy, dz) in s.for_parity(parity_of(i, j, k)) {
+                                let s_idx =
+                                    grid.idx(i + dx as isize, j + dy as isize, k + dz as isize);
+                                accum(&grid, t_idx, s_idx, e);
+                            }
+                        }
+                    }
+                }
+                out
+            };
+
+            for (what, simd, scalar) in [
+                (
+                    "monopole offsets",
+                    monopole_kernel(&grid, s.offsets()).expansions,
+                    scalar_offset(accum_monopole),
+                ),
+                (
+                    "multipole offsets",
+                    multipole_kernel(&grid, s.offsets()).expansions,
+                    scalar_offset(accum_multipole),
+                ),
+                (
+                    "monopole stencil",
+                    monopole_kernel_stencil(&grid, &s).expansions,
+                    scalar_stencil(accum_monopole),
+                ),
+                (
+                    "multipole stencil",
+                    multipole_kernel_stencil(&grid, &s).expansions,
+                    scalar_stencil(accum_multipole),
+                ),
+            ] {
+                assert_eq!(simd.len(), scalar.len());
+                for (a, b) in simd.iter().zip(scalar.iter()) {
+                    assert_expansion_bits(a, b, &format!("{what} (seed {seed:#x})"));
+                }
+            }
+        }
+    }
+
+    /// Concatenating slab ranges (including lane-breaking odd sizes
+    /// that force the scalar tail) reproduces the full kernel exactly,
+    /// and the per-slab interaction counts sum to the full count.
+    #[test]
+    fn range_kernels_concatenate_to_full() {
+        let s = Stencil::octotiger();
+        let grid = random_grid(s.width(), 0xc0ffee);
+        let full_off = multipole_kernel(&grid, s.offsets());
+        let full_sten = multipole_kernel_stencil(&grid, &s);
+        let full_mono = monopole_kernel(&grid, s.offsets());
+        for chunk in [1usize, 5, 8, 64, N_CELLS] {
+            let mut cat_off = Vec::new();
+            let mut cat_sten = Vec::new();
+            let mut cat_mono = Vec::new();
+            let (mut i_off, mut i_sten, mut i_mono) = (0u64, 0u64, 0u64);
+            let mut start = 0;
+            while start < N_CELLS {
+                let end = (start + chunk).min(N_CELLS);
+                let mut buf = Vec::new();
+                i_off += multipole_kernel_range_into(&grid, s.offsets(), start, end, &mut buf);
+                cat_off.extend_from_slice(&buf);
+                i_sten += multipole_kernel_stencil_range_into(&grid, &s, start, end, &mut buf);
+                cat_sten.extend_from_slice(&buf);
+                i_mono += monopole_kernel_range_into(&grid, s.offsets(), start, end, &mut buf);
+                cat_mono.extend_from_slice(&buf);
+                start = end;
+            }
+            assert_eq!(i_off, full_off.interactions, "chunk {chunk}");
+            assert_eq!(i_sten, full_sten.interactions, "chunk {chunk}");
+            assert_eq!(i_mono, full_mono.interactions, "chunk {chunk}");
+            for (cat, full, what) in [
+                (&cat_off, &full_off.expansions, "offsets"),
+                (&cat_sten, &full_sten.expansions, "stencil"),
+                (&cat_mono, &full_mono.expansions, "monopole"),
+            ] {
+                assert_eq!(cat.len(), full.len());
+                for (a, b) in cat.iter().zip(full.iter()) {
+                    assert_expansion_bits(a, b, &format!("{what} chunk {chunk}"));
+                }
+            }
         }
     }
 

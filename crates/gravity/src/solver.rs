@@ -21,8 +21,8 @@
 //!
 //! **Futurization** (§4.1): [`FmmSolver::solve_parallel`] runs the same
 //! walk as a task graph on the [`amt`] runtime — one task per node for
-//! the moment (per level, bottom-up), same-level, downward (per level,
-//! top-down) and leaf-assembly passes, joined by `when_all` barriers.
+//! the moment (per level, bottom-up), downward (per level, top-down)
+//! and leaf-assembly passes, joined by `when_all` barriers.
 //! Every per-node computation is the *same function* the serial path
 //! calls, and per-node results are merged into maps by key (never by
 //! arrival order), so the parallel field is bit-identical to the serial
@@ -30,23 +30,39 @@
 //! pins down. Scratch buffers come from the solver's [`ScratchPool`]
 //! and kernel launches are routed through the optional [`GpuContext`]
 //! (§5.1 stream-idle decision).
+//!
+//! **Chunking** (DESIGN.md "Chunking & SIMD"): the same-level pass is
+//! *cache-blocked* rather than one monolithic task per node. Each node
+//! pipelines through three stages — a halo-gather task, one kernel task
+//! per target-cell slab of [`FmmSolver::chunk_cells`] cells (same-level
+//! M2L plus, on leaves, the near-field P2P), and a merge continuation
+//! that concatenates the slabs in index order. A cell's accumulation
+//! order over its offset list never changes and slabs are disjoint, so
+//! the chunked field is bit-identical to the serial walk at any chunk
+//! size and worker count. A bounded window of nodes is in flight at a
+//! time (grids are ~0.8 MB each), refilled from each merge, and all
+//! buffers lease from the [`ScratchPool`] so steady-state solves
+//! allocate nothing. The chunk size comes from the `FMM_CHUNK_CELLS`
+//! environment variable or [`FmmSolver::with_chunk_cells`].
 
 use crate::expansion::LocalExpansion;
 use crate::gpu::{GpuContext, LaunchSite};
 use crate::kernels::{
-    gather_moments_into, monopole_kernel_into, monopole_kernel_stencil_into,
-    multipole_kernel_into, multipole_kernel_stencil_into, MomentGrid,
+    gather_moments_into, monopole_kernel_into, monopole_kernel_range_into,
+    monopole_kernel_stencil_into, monopole_kernel_stencil_range_into, multipole_kernel_into,
+    multipole_kernel_range_into, multipole_kernel_stencil_into,
+    multipole_kernel_stencil_range_into, MomentGrid, N_CELLS,
 };
 use crate::multipole::Multipole;
 use crate::scratch::ScratchPool;
 use crate::stencil::Stencil;
 use amt::trace::{self, TraceCategory};
-use amt::{when_all, Runtime};
+use amt::{when_all, Future, Promise, Runtime, Scheduler};
 use octree::subgrid::{Field, N_SUB};
 use octree::tree::Octree;
 use parking_lot::Mutex;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use util::morton::MortonKey;
 use util::vec3::Vec3;
@@ -81,7 +97,12 @@ pub struct GravityField {
     cells: HashMap<MortonKey, Vec<CellGravity>>,
     /// Total same-level + near-field interactions executed.
     pub interactions: u64,
-    /// Number of kernel launches (one per node per pass).
+    /// Same-level (M2L) interactions only.
+    pub interactions_same_level: u64,
+    /// Near-field (P2P, leaves only) interactions only.
+    pub interactions_near_field: u64,
+    /// Number of kernel launches (one per chunk per pass on the chunked
+    /// path, one per node per pass on the serial walk).
     pub kernel_launches: u64,
     /// Launches executed inline on a CPU worker.
     pub kernel_launches_cpu: u64,
@@ -281,6 +302,143 @@ pub fn moments_from_leaf_moments(
     moments
 }
 
+/// Default same-level chunk size in target cells (a cache-blocking
+/// sweep over {8..512} picked this; see EXPERIMENTS.md §E13).
+pub const DEFAULT_CHUNK_CELLS: usize = 32;
+
+/// Normalize a chunk size: round up to whole 8-cell rows (the SIMD
+/// lane groups of the parity kernels need complete rows) and clamp to
+/// `[8, 512]`. `1` therefore means "one row slab".
+pub fn normalize_chunk_cells(n: usize) -> usize {
+    ((n.max(1) + N_SUB - 1) / N_SUB * N_SUB).min(N_CELLS)
+}
+
+/// The chunk size the `FMM_CHUNK_CELLS` environment variable selects
+/// (normalized), or [`DEFAULT_CHUNK_CELLS`] when unset or unparsable.
+pub fn default_chunk_cells() -> usize {
+    match std::env::var("FMM_CHUNK_CELLS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .map(normalize_chunk_cells)
+            .unwrap_or(DEFAULT_CHUNK_CELLS),
+        Err(_) => DEFAULT_CHUNK_CELLS,
+    }
+}
+
+/// What one chunk task returns: `(slab start, slab expansions,
+/// same-level interactions, near-field interactions, gpu launches,
+/// cpu launches)`.
+type ChunkResult = (usize, Vec<LocalExpansion>, u64, u64, u64, u64);
+
+/// Everything the merge continuation of one node hands back through
+/// its promise.
+struct NodeOutcome {
+    key: MortonKey,
+    out: Vec<LocalExpansion>,
+    interactions_same: u64,
+    interactions_near: u64,
+    gpu_launches: u64,
+    cpu_launches: u64,
+    chunks: u64,
+}
+
+/// Summed counters of one chunked same-level pass.
+#[derive(Default, Clone, Copy)]
+struct PassTotals {
+    interactions_same: u64,
+    interactions_near: u64,
+    gpu_launches: u64,
+    cpu_launches: u64,
+    chunks: u64,
+}
+
+/// Shared state of one chunked same-level pass: the node queue plus
+/// everything a gather/fan/merge closure needs to capture. Lives behind
+/// an `Arc` threaded through every continuation.
+struct ChunkedPass {
+    solver: Arc<FmmSolver>,
+    tree: Arc<Octree>,
+    moments: Arc<MomentMap>,
+    rt: Arc<Runtime>,
+    sched: Arc<Scheduler>,
+    queue: Mutex<VecDeque<(MortonKey, Promise<NodeOutcome>)>>,
+}
+
+impl ChunkedPass {
+    /// Launch the pipeline of the next queued node (no-op on an empty
+    /// queue): a gather task, then a continuation fanning out one
+    /// kernel task per target-cell slab, then a merge continuation that
+    /// concatenates the slabs *by slab index* (never arrival order),
+    /// recycles the buffers, refills the window, and fulfils the
+    /// node's promise.
+    fn launch_next(pass: &Arc<ChunkedPass>) {
+        let Some((key, promise)) = pass.queue.lock().pop_front() else {
+            return;
+        };
+        let p = Arc::clone(pass);
+        let gather = pass.rt.async_call(move || {
+            let _span = trace::span_labeled(TraceCategory::FmmGather, || format!("{key:?}"));
+            let mut grid = p.solver.scratch.take_grid(p.solver.gather_width());
+            let any_quad = p.solver.gather_into(&p.tree, &p.moments, key, &mut grid);
+            (Arc::new(grid), any_quad)
+        });
+        let p = Arc::clone(pass);
+        // Dropping the continuation futures is fine: completion is
+        // observed through the node promise, not through them.
+        let _fan = gather.then(&pass.sched, move |(grid, any_quad)| {
+            let is_leaf = p.tree.is_leaf(key);
+            let chunk_cells = p.solver.chunk_cells;
+            let mut chunk_futs = Vec::with_capacity((N_CELLS + chunk_cells - 1) / chunk_cells);
+            let mut start = 0;
+            while start < N_CELLS {
+                let end = (start + chunk_cells).min(N_CELLS);
+                let solver = Arc::clone(&p.solver);
+                let sched = Arc::clone(&p.sched);
+                let grid = Arc::clone(&grid);
+                chunk_futs.push(p.rt.async_call(move || {
+                    solver.same_level_chunk(&sched, &grid, key, any_quad, is_leaf, start, end)
+                }));
+                start = end;
+            }
+            let chunks = chunk_futs.len() as u64;
+            let p2 = Arc::clone(&p);
+            let _merge = when_all(&p.sched, chunk_futs).then(&p.sched, move |results| {
+                let mut out = p2.solver.scratch.take_expansions();
+                out.clear();
+                out.resize(N_CELLS, LocalExpansion::default());
+                let mut o = NodeOutcome {
+                    key,
+                    out,
+                    interactions_same: 0,
+                    interactions_near: 0,
+                    gpu_launches: 0,
+                    cpu_launches: 0,
+                    chunks,
+                };
+                for (start, buf, n_same, n_near, gpu, cpu) in results {
+                    o.out[start..start + buf.len()].copy_from_slice(&buf);
+                    p2.solver.scratch.put_expansions(buf);
+                    o.interactions_same += n_same;
+                    o.interactions_near += n_near;
+                    o.gpu_launches += gpu;
+                    o.cpu_launches += cpu;
+                }
+                // Every chunk task drops its grid clone before setting
+                // its promise, so by now we deterministically hold the
+                // last reference.
+                if let Ok(grid) = Arc::try_unwrap(grid) {
+                    p2.solver.scratch.put_grid(grid);
+                }
+                // Refill the window only after the grid went back, so
+                // the next gather reuses it instead of allocating.
+                ChunkedPass::launch_next(&p2);
+                promise.set_value(o);
+            });
+        });
+    }
+}
+
 /// The FMM gravity solver.
 pub struct FmmSolver {
     stencil: Stencil,
@@ -294,6 +452,9 @@ pub struct FmmSolver {
     /// When present, kernel launches go through the §5.1 stream-idle
     /// decision; when absent every launch is a CPU launch.
     gpu: Option<GpuContext>,
+    /// Target cells per same-level chunk task (normalized to whole
+    /// rows). 512 restores the one-task-per-node behaviour.
+    chunk_cells: usize,
 }
 
 impl FmmSolver {
@@ -306,6 +467,19 @@ impl FmmSolver {
     /// simulated GPU `ctx` (idle stream → GPU, otherwise CPU).
     pub fn with_gpu(theta: f64, ctx: GpuContext) -> FmmSolver {
         Self::build(theta, Some(ctx))
+    }
+
+    /// Override the same-level chunk size (builder style). The value is
+    /// normalized through [`normalize_chunk_cells`]; the default comes
+    /// from `FMM_CHUNK_CELLS` via [`default_chunk_cells`].
+    pub fn with_chunk_cells(mut self, n: usize) -> FmmSolver {
+        self.chunk_cells = normalize_chunk_cells(n);
+        self
+    }
+
+    /// The effective same-level chunk size in target cells.
+    pub fn chunk_cells(&self) -> usize {
+        self.chunk_cells
     }
 
     fn build(theta: f64, gpu: Option<GpuContext>) -> FmmSolver {
@@ -330,6 +504,7 @@ impl FmmSolver {
             root_offsets,
             scratch: ScratchPool::new(),
             gpu,
+            chunk_cells: default_chunk_cells(),
         }
     }
 
@@ -525,6 +700,47 @@ impl FmmSolver {
         }
     }
 
+    /// [`FmmSolver::same_level_kernel_into`] restricted to the
+    /// target-cell slab `[start, end)` — the per-chunk kernel launch.
+    fn same_level_kernel_range_into(
+        &self,
+        grid: &MomentGrid,
+        level: u8,
+        any_quad: bool,
+        start: usize,
+        end: usize,
+        out: &mut Vec<LocalExpansion>,
+    ) -> u64 {
+        if level == 0 {
+            if any_quad {
+                multipole_kernel_range_into(grid, &self.root_offsets, start, end, out)
+            } else {
+                monopole_kernel_range_into(grid, &self.root_offsets, start, end, out)
+            }
+        } else if any_quad {
+            multipole_kernel_stencil_range_into(grid, &self.stencil, start, end, out)
+        } else {
+            monopole_kernel_stencil_range_into(grid, &self.stencil, start, end, out)
+        }
+    }
+
+    /// [`FmmSolver::near_field_kernel_into`] restricted to the
+    /// target-cell slab `[start, end)`.
+    fn near_field_kernel_range_into(
+        &self,
+        grid: &MomentGrid,
+        any_quad: bool,
+        start: usize,
+        end: usize,
+        out: &mut Vec<LocalExpansion>,
+    ) -> u64 {
+        if any_quad {
+            multipole_kernel_range_into(grid, &self.near_field, start, end, out)
+        } else {
+            monopole_kernel_range_into(grid, &self.near_field, start, end, out)
+        }
+    }
+
     /// Execute a kernel closure through the §5.1 launch decision (when
     /// a GPU context is attached) or inline. Returns the closure's
     /// result and where it ran.
@@ -552,55 +768,133 @@ impl FmmSolver {
         }
     }
 
-    /// Same-level + near-field pass of one node, with pooled buffers
-    /// and routed launches. Returns the node's expansions plus
-    /// (interactions, gpu launches, cpu launches).
-    fn same_level_node(
+    /// One same-level chunk: the M2L kernel over the target-cell slab
+    /// `[start, end)` and, on leaves, the near-field P2P over the same
+    /// slab folded in cell by cell (the per-cell operation the serial
+    /// walk performs after its whole-node kernels). Buffers lease from
+    /// the scratch pool; both launches go through the §5.1 routing.
+    /// Returns `(start, slab expansions, same-level interactions,
+    /// near-field interactions, gpu launches, cpu launches)`.
+    #[allow(clippy::too_many_arguments)]
+    fn same_level_chunk(
         self: &Arc<Self>,
-        tree: &Octree,
-        moments: &MomentMap,
+        sched: &Arc<Scheduler>,
+        grid: &Arc<MomentGrid>,
         key: MortonKey,
-        worker: Option<usize>,
-    ) -> (Vec<LocalExpansion>, u64, u64, u64) {
-        let mut grid = self.scratch.take_grid(self.gather_width());
-        let any_quad = self.gather_into(tree, moments, key, &mut grid);
-        let is_leaf = tree.is_leaf(key);
-        let out = self.scratch.take_expansions();
-        let solver = Arc::clone(self);
-        let ((grid, mut out, mut interactions), site) = self.routed(worker, move || {
-            let mut out = out;
-            let n = solver.same_level_kernel_into(&grid, key.level, any_quad, &mut out);
-            (grid, out, n)
-        });
+        any_quad: bool,
+        is_leaf: bool,
+        start: usize,
+        end: usize,
+    ) -> ChunkResult {
+        let worker = sched.current_worker();
+        let buf = self.scratch.take_expansions();
+        let ((mut buf, n_same), site) = {
+            let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || {
+                format!("{key:?} [{start}..{end})")
+            });
+            let solver = Arc::clone(self);
+            let grid = Arc::clone(grid);
+            self.routed(worker, move || {
+                let mut buf = buf;
+                let n = solver
+                    .same_level_kernel_range_into(&grid, key.level, any_quad, start, end, &mut buf);
+                (buf, n)
+            })
+        };
         let mut gpu_launches = (site == LaunchSite::Gpu) as u64;
         let mut cpu_launches = (site == LaunchSite::Cpu) as u64;
+        let mut n_near = 0u64;
         if is_leaf {
             let near = self.scratch.take_expansions();
-            let solver = Arc::clone(self);
-            let ((grid, near, n), site) = self.routed(worker, move || {
-                let mut near = near;
-                let n = solver.near_field_kernel_into(&grid, any_quad, &mut near);
-                (grid, near, n)
-            });
-            interactions += n;
+            let ((near, n), site) = {
+                let _span = trace::span_labeled(TraceCategory::FmmNearField, || {
+                    format!("{key:?} [{start}..{end})")
+                });
+                let solver = Arc::clone(self);
+                let grid = Arc::clone(grid);
+                self.routed(worker, move || {
+                    let mut near = near;
+                    let n = solver.near_field_kernel_range_into(&grid, any_quad, start, end, &mut near);
+                    (near, n)
+                })
+            };
+            n_near = n;
             gpu_launches += (site == LaunchSite::Gpu) as u64;
             cpu_launches += (site == LaunchSite::Cpu) as u64;
-            for (e, ne) in out.iter_mut().zip(near.iter()) {
+            for (e, ne) in buf.iter_mut().zip(near.iter()) {
                 e.add(ne);
             }
             self.scratch.put_expansions(near);
-            self.scratch.put_grid(grid);
-        } else {
-            self.scratch.put_grid(grid);
         }
-        (out, interactions, gpu_launches, cpu_launches)
+        (start, buf, n_same, n_near, gpu_launches, cpu_launches)
+    }
+
+    /// The chunked same-level pass over `keys` (see the module docs):
+    /// a pipelined window of nodes, each gathered once, fanned out into
+    /// per-slab kernel tasks, and merged by slab index. Returns the
+    /// per-node expansion map plus the pass totals.
+    fn same_level_pass_chunked(
+        self: &Arc<Self>,
+        tree: &Arc<Octree>,
+        moments: &Arc<MomentMap>,
+        rt: &Arc<Runtime>,
+        keys: Vec<MortonKey>,
+    ) -> (HashMap<MortonKey, Vec<LocalExpansion>>, PassTotals) {
+        let sched = Arc::clone(rt.scheduler());
+        let n_nodes = keys.len();
+        let concurrency = sched.n_threads() + 1;
+        let window = concurrency.min(n_nodes.max(1));
+        let chunks_per_node = (N_CELLS + self.chunk_cells - 1) / self.chunk_cells;
+        // Pre-warm the pool so steady-state solves never allocate.
+        // Grids: at most `window` nodes are gathered-but-unmerged (the
+        // next gather is only launched from a merge). Expansions: one
+        // long-lived buffer per node (held until the downward pass is
+        // done) + every chunk buffer of the in-flight window + one
+        // near-field temporary per concurrently executing chunk task.
+        self.scratch.ensure(
+            window,
+            self.gather_width(),
+            n_nodes + window * chunks_per_node + concurrency,
+        );
+
+        let mut node_futs: Vec<Future<NodeOutcome>> = Vec::with_capacity(n_nodes);
+        let mut queue = VecDeque::with_capacity(n_nodes);
+        for key in keys {
+            let (promise, fut) = Promise::new();
+            node_futs.push(fut);
+            queue.push_back((key, promise));
+        }
+        let pass = Arc::new(ChunkedPass {
+            solver: Arc::clone(self),
+            tree: Arc::clone(tree),
+            moments: Arc::clone(moments),
+            rt: Arc::clone(rt),
+            sched: Arc::clone(&sched),
+            queue: Mutex::new(queue),
+        });
+        for _ in 0..window {
+            ChunkedPass::launch_next(&pass);
+        }
+
+        let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::with_capacity(n_nodes);
+        let mut totals = PassTotals::default();
+        for o in when_all(&sched, node_futs).get_help(&sched) {
+            same.insert(o.key, o.out);
+            totals.interactions_same += o.interactions_same;
+            totals.interactions_near += o.interactions_near;
+            totals.gpu_launches += o.gpu_launches;
+            totals.cpu_launches += o.cpu_launches;
+            totals.chunks += o.chunks;
+        }
+        (same, totals)
     }
 
     /// Run the full solve given precomputed moments (serial reference
     /// path — same per-node functions as the parallel path).
     pub fn solve_with_moments(&self, tree: &Octree, moments: &MomentMap) -> GravityField {
         let domain = tree.domain();
-        let mut interactions = 0u64;
+        let mut interactions_same = 0u64;
+        let mut interactions_near = 0u64;
         let mut kernel_launches = 0u64;
         // Same-level pass for every node, keyed per node.
         let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::new();
@@ -608,11 +902,11 @@ impl FmmSolver {
             let mut grid = self.scratch.take_grid(self.gather_width());
             let any_quad = self.gather_into(tree, moments, key, &mut grid);
             let mut out = self.scratch.take_expansions();
-            interactions += self.same_level_kernel_into(&grid, key.level, any_quad, &mut out);
+            interactions_same += self.same_level_kernel_into(&grid, key.level, any_quad, &mut out);
             kernel_launches += 1;
             if tree.is_leaf(key) {
                 let mut near = self.scratch.take_expansions();
-                interactions += self.near_field_kernel_into(&grid, any_quad, &mut near);
+                interactions_near += self.near_field_kernel_into(&grid, any_quad, &mut near);
                 kernel_launches += 1;
                 for (e, ne) in out.iter_mut().zip(near.iter()) {
                     e.add(ne);
@@ -650,7 +944,9 @@ impl FmmSolver {
         }
         GravityField {
             cells,
-            interactions,
+            interactions: interactions_same + interactions_near,
+            interactions_same_level: interactions_same,
+            interactions_near_field: interactions_near,
             kernel_launches,
             kernel_launches_cpu: kernel_launches,
             kernel_launches_gpu: 0,
@@ -668,41 +964,12 @@ impl FmmSolver {
     ) -> GravityField {
         let sched = Arc::clone(rt.scheduler());
         let domain = tree.domain();
-        let width = self.gather_width();
         let n_nodes = moments.len();
-        // Pre-warm the pool so steady-state solves never allocate:
-        // grids are bounded by in-flight tasks (workers + the helping
-        // main thread), expansion buffers by one long-lived per node
-        // plus one near-field temporary per in-flight leaf task.
-        let concurrency = sched.n_threads() + 1;
-        self.scratch
-            .ensure(concurrency.min(n_nodes.max(1)), width, n_nodes + concurrency);
 
-        // Same-level pass: one task per node.
-        let mut futs = Vec::with_capacity(n_nodes);
-        for &key in moments.keys() {
-            let solver = Arc::clone(self);
-            let tree = Arc::clone(tree);
-            let moments = Arc::clone(moments);
-            let sched = Arc::clone(&sched);
-            futs.push(rt.async_call(move || {
-                let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || format!("{key:?}"));
-                let worker = sched.current_worker();
-                let (out, interactions, gpu, cpu) =
-                    solver.same_level_node(&tree, &moments, key, worker);
-                (key, out, interactions, gpu, cpu)
-            }));
-        }
-        let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::with_capacity(n_nodes);
-        let mut interactions = 0u64;
-        let mut gpu_launches = 0u64;
-        let mut cpu_launches = 0u64;
-        for (key, out, n, g, c) in when_all(&sched, futs).get_help(&sched) {
-            same.insert(key, out);
-            interactions += n;
-            gpu_launches += g;
-            cpu_launches += c;
-        }
+        // Same-level pass: chunked node pipelines (gather → per-slab
+        // kernels → index-ordered merge) over every node.
+        let keys: Vec<MortonKey> = moments.keys().copied().collect();
+        let (same, totals) = self.same_level_pass_chunked(tree, moments, rt, keys);
 
         // Downward pass, level by level: one task per refined node.
         // Each child has exactly one parent, so tasks of one level
@@ -762,26 +1029,35 @@ impl FmmSolver {
             }
         }
 
-        self.publish_counters(rt, gpu_launches, cpu_launches);
+        self.publish_counters(rt, &totals);
 
         GravityField {
             cells,
-            interactions,
-            kernel_launches: gpu_launches + cpu_launches,
-            kernel_launches_cpu: cpu_launches,
-            kernel_launches_gpu: gpu_launches,
+            interactions: totals.interactions_same + totals.interactions_near,
+            interactions_same_level: totals.interactions_same,
+            interactions_near_field: totals.interactions_near,
+            kernel_launches: totals.gpu_launches + totals.cpu_launches,
+            kernel_launches_cpu: totals.cpu_launches,
+            kernel_launches_gpu: totals.gpu_launches,
         }
     }
 
     /// Publish solver counters through the runtime's [`amt::Metrics`]
     /// facade (same registry the legacy `counters()` API reads, so the
     /// `fmm/*` names are stable).
-    fn publish_counters(&self, rt: &Arc<Runtime>, gpu_launches: u64, cpu_launches: u64) {
+    fn publish_counters(&self, rt: &Arc<Runtime>, totals: &PassTotals) {
         let metrics = rt.metrics();
         metrics.counter("fmm/scratch_hits").store(self.scratch.hits());
         metrics.counter("fmm/scratch_misses").store(self.scratch.misses());
-        metrics.counter("fmm/kernels/gpu").add(gpu_launches);
-        metrics.counter("fmm/kernels/cpu").add(cpu_launches);
+        metrics.counter("fmm/kernels/gpu").add(totals.gpu_launches);
+        metrics.counter("fmm/kernels/cpu").add(totals.cpu_launches);
+        metrics.counter("fmm/chunks").add(totals.chunks);
+        metrics
+            .counter("fmm/interactions/same_level")
+            .add(totals.interactions_same);
+        metrics
+            .counter("fmm/interactions/near_field")
+            .add(totals.interactions_near);
     }
 
     /// Futurized steps 2–3 + assembly *restricted to a shard*: run the
@@ -802,7 +1078,6 @@ impl FmmSolver {
         use std::collections::BTreeSet;
         let sched = Arc::clone(rt.scheduler());
         let domain = tree.domain();
-        let width = self.gather_width();
         // Closure over ancestors: every target leaf needs the downward
         // contributions of its whole refined ancestor chain.
         let mut needed: BTreeSet<MortonKey> = BTreeSet::new();
@@ -816,36 +1091,11 @@ impl FmmSolver {
                 cur = parent;
             }
         }
-        let n_nodes = needed.len();
-        let concurrency = sched.n_threads() + 1;
-        self.scratch
-            .ensure(concurrency.min(n_nodes.max(1)), width, n_nodes + concurrency);
 
-        // Same-level pass over the needed closure only.
-        let mut futs = Vec::with_capacity(n_nodes);
-        for &key in &needed {
-            let solver = Arc::clone(self);
-            let tree = Arc::clone(tree);
-            let moments = Arc::clone(moments);
-            let sched = Arc::clone(&sched);
-            futs.push(rt.async_call(move || {
-                let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || format!("{key:?}"));
-                let worker = sched.current_worker();
-                let (out, interactions, gpu, cpu) =
-                    solver.same_level_node(&tree, &moments, key, worker);
-                (key, out, interactions, gpu, cpu)
-            }));
-        }
-        let mut same: HashMap<MortonKey, Vec<LocalExpansion>> = HashMap::with_capacity(n_nodes);
-        let mut interactions = 0u64;
-        let mut gpu_launches = 0u64;
-        let mut cpu_launches = 0u64;
-        for (key, out, n, g, c) in when_all(&sched, futs).get_help(&sched) {
-            same.insert(key, out);
-            interactions += n;
-            gpu_launches += g;
-            cpu_launches += c;
-        }
+        // Same-level pass (chunked node pipelines) over the needed
+        // closure only.
+        let keys: Vec<MortonKey> = needed.iter().copied().collect();
+        let (same, totals) = self.same_level_pass_chunked(tree, moments, rt, keys);
 
         // Downward pass through the refined needed nodes (= ancestors),
         // level by level. A needed node's parent is always needed, so
@@ -902,14 +1152,16 @@ impl FmmSolver {
             }
         }
 
-        self.publish_counters(rt, gpu_launches, cpu_launches);
+        self.publish_counters(rt, &totals);
 
         GravityField {
             cells,
-            interactions,
-            kernel_launches: gpu_launches + cpu_launches,
-            kernel_launches_cpu: cpu_launches,
-            kernel_launches_gpu: gpu_launches,
+            interactions: totals.interactions_same + totals.interactions_near,
+            interactions_same_level: totals.interactions_same,
+            interactions_near_field: totals.interactions_near,
+            kernel_launches: totals.gpu_launches + totals.cpu_launches,
+            kernel_launches_cpu: totals.cpu_launches,
+            kernel_launches_gpu: totals.gpu_launches,
         }
     }
 }
@@ -1122,6 +1374,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_bits() {
+        // Bit-identity must hold at every chunk size (1 → one row slab,
+        // 512 → one task per node) and worker count.
+        let tree = Arc::new(uniform_tree(1, blob_density));
+        let solver = Arc::new(FmmSolver::new(0.5));
+        let serial = solver.solve(&tree);
+        for chunk in [1usize, 32, 64, 512] {
+            let solver = Arc::new(FmmSolver::new(0.5).with_chunk_cells(chunk));
+            for threads in [1usize, 2] {
+                let rt = Runtime::new(threads);
+                let par = solver.solve_parallel(&tree, &rt);
+                assert_eq!(par.interactions, serial.interactions);
+                assert_eq!(par.interactions_same_level, serial.interactions_same_level);
+                assert_eq!(par.interactions_near_field, serial.interactions_near_field);
+                for key in tree.leaves() {
+                    let a = serial.leaf(key).unwrap();
+                    let b = par.leaf(key).unwrap();
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        assert_eq!(x.phi.to_bits(), y.phi.to_bits(), "chunk {chunk} threads {threads}");
+                        assert_eq!(x.g.x.to_bits(), y.g.x.to_bits());
+                        assert_eq!(x.force_density.y.to_bits(), y.force_density.y.to_bits());
+                        assert_eq!(x.torque_density.z.to_bits(), y.torque_density.z.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_counters_and_launches_add_up() {
+        let tree = Arc::new(uniform_tree(1, blob_density));
+        let n_nodes = 9u64; // root + 8 level-1 leaves
+        let solver = Arc::new(FmmSolver::new(0.5).with_chunk_cells(64));
+        let rt = Runtime::new(2);
+        let field = solver.solve_parallel(&tree, &rt);
+        let chunks_per_node = (N_CELLS as u64) / 64;
+        let chunks = rt.metrics().counter("fmm/chunks").get();
+        assert_eq!(chunks, n_nodes * chunks_per_node);
+        // One launch per chunk, plus one near-field launch per leaf
+        // chunk (the root is the only non-leaf here).
+        assert_eq!(field.kernel_launches, chunks + 8 * chunks_per_node);
+        assert_eq!(
+            rt.metrics().counter("fmm/interactions/same_level").get(),
+            field.interactions_same_level
+        );
+        assert_eq!(
+            rt.metrics().counter("fmm/interactions/near_field").get(),
+            field.interactions_near_field
+        );
+        assert!(field.interactions_near_field > 0);
+    }
+
+    #[test]
+    fn chunk_cells_normalizes_and_reads_env() {
+        assert_eq!(normalize_chunk_cells(1), 8);
+        assert_eq!(normalize_chunk_cells(8), 8);
+        assert_eq!(normalize_chunk_cells(9), 16);
+        assert_eq!(normalize_chunk_cells(64), 64);
+        assert_eq!(normalize_chunk_cells(100_000), N_CELLS);
+        assert_eq!(FmmSolver::new(0.5).with_chunk_cells(3).chunk_cells(), 8);
+        std::env::set_var("FMM_CHUNK_CELLS", "24");
+        assert_eq!(default_chunk_cells(), 24);
+        assert_eq!(FmmSolver::new(0.5).chunk_cells(), 24);
+        std::env::set_var("FMM_CHUNK_CELLS", "not-a-number");
+        assert_eq!(default_chunk_cells(), DEFAULT_CHUNK_CELLS);
+        std::env::remove_var("FMM_CHUNK_CELLS");
+        assert_eq!(default_chunk_cells(), DEFAULT_CHUNK_CELLS);
     }
 
     #[test]

@@ -299,6 +299,7 @@ pub struct Cluster {
     metrics: Arc<Metrics>,
     fault: Option<Arc<FaultyTransport>>,
     reliable: Option<Arc<ReliableTransport>>,
+    fmm_chunk_cells: Option<usize>,
 }
 
 /// Fluent construction of a [`Cluster`]:
@@ -325,6 +326,7 @@ pub struct ClusterBuilder {
     net: Option<NetParams>,
     fault_plan: Option<FaultPlan>,
     reliable: Option<ReliablePolicy>,
+    fmm_chunk_cells: Option<usize>,
 }
 
 impl Default for ClusterBuilder {
@@ -337,6 +339,7 @@ impl Default for ClusterBuilder {
             net: None,
             fault_plan: None,
             reliable: None,
+            fmm_chunk_cells: None,
         }
     }
 }
@@ -389,6 +392,14 @@ impl ClusterBuilder {
     /// this to measure the fault-free overhead of the protocol.
     pub fn reliable(mut self, policy: ReliablePolicy) -> Self {
         self.reliable = Some(policy);
+        self
+    }
+
+    /// Target cells per FMM same-level chunk task on every locality's
+    /// solver. Unset = each driver's own default (the `FMM_CHUNK_CELLS`
+    /// environment variable, then the built-in default).
+    pub fn fmm_chunk_cells(mut self, n: usize) -> Self {
+        self.fmm_chunk_cells = Some(n);
         self
     }
 
@@ -503,7 +514,15 @@ impl ClusterBuilder {
                 Arc::clone(loc.rt.counters()),
             );
         }
-        Ok(Cluster { localities, transport, net, metrics, fault, reliable })
+        Ok(Cluster {
+            localities,
+            transport,
+            net,
+            metrics,
+            fault,
+            reliable,
+            fmm_chunk_cells: self.fmm_chunk_cells,
+        })
     }
 
     /// Infallible [`ClusterBuilder::try_build`]; panics on an invalid
@@ -522,6 +541,11 @@ impl Cluster {
     /// The cluster-wide namespaced metrics view.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The FMM chunk-size override this cluster was built with, if any.
+    pub fn fmm_chunk_cells(&self) -> Option<usize> {
+        self.fmm_chunk_cells
     }
 
     /// The network cost model this cluster was built with.

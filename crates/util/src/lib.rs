@@ -11,6 +11,7 @@ pub mod digest;
 pub mod error;
 pub mod indexing;
 pub mod morton;
+pub mod simd;
 pub mod stats;
 pub mod units;
 pub mod vec3;
@@ -19,6 +20,7 @@ pub use digest::{fnv1a64, Fnv1a};
 pub use error::{Error, Result};
 pub use indexing::{CellIter, GridIndexer};
 pub use morton::{morton_decode, morton_encode, MortonKey};
+pub use simd::F64x4;
 pub use stats::{OnlineStats, RelErr};
 pub use vec3::Vec3;
 

@@ -1,0 +1,184 @@
+//! A hand-rolled 4-wide `f64` SIMD lane type.
+//!
+//! `std::simd` is unstable, so the explicit-vectorization work in the
+//! gravity kernels (the "Merging Frameworks" follow-up paper's SIMD
+//! types, arXiv:2210.06439) uses this portable lane struct instead. The
+//! compiler auto-vectorizes the fixed-width array loops into packed
+//! instructions on targets that have them; on targets that don't, each
+//! lane op is exactly the scalar op.
+//!
+//! **Bit-identity contract.** Every operation on [`F64x4`] applies the
+//! corresponding scalar `f64` operation independently per lane — there
+//! are no horizontal reductions, no FMA contractions, no re-associations.
+//! A kernel that maps lane `l` to target cell `t0 + l·stride` therefore
+//! produces, in each lane, the *identical bit pattern* the scalar kernel
+//! produces for that cell, because IEEE 754 arithmetic is deterministic
+//! per operation and the per-cell operation sequence is unchanged.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Number of lanes in [`F64x4`].
+pub const LANES: usize = 4;
+
+/// Four `f64` lanes operated on element-wise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+
+    /// All four lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        F64x4([0.0; 4])
+    }
+
+    /// Load four contiguous values starting at `slice[base]`.
+    #[inline(always)]
+    pub fn load(slice: &[f64], base: usize) -> Self {
+        F64x4([
+            slice[base],
+            slice[base + 1],
+            slice[base + 2],
+            slice[base + 3],
+        ])
+    }
+
+    /// Load four values at `slice[base + l·stride]` for lane `l`.
+    ///
+    /// `stride == 1` is the contiguous case; the parity-stencil kernels
+    /// use `stride == 2` to pick the four same-parity cells of a row.
+    #[inline(always)]
+    pub fn gather(slice: &[f64], base: usize, stride: usize) -> Self {
+        F64x4([
+            slice[base],
+            slice[base + stride],
+            slice[base + 2 * stride],
+            slice[base + 3 * stride],
+        ])
+    }
+
+    /// Per-lane square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        F64x4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+
+    /// Lane `l` as a scalar.
+    #[inline(always)]
+    pub fn lane(self, l: usize) -> f64 {
+        self.0[l]
+    }
+
+    /// The underlying lane array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F64x4 {
+            type Output = F64x4;
+            #[inline(always)]
+            fn $method(self, rhs: F64x4) -> F64x4 {
+                F64x4([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+        impl $trait<f64> for F64x4 {
+            type Output = F64x4;
+            #[inline(always)]
+            fn $method(self, rhs: f64) -> F64x4 {
+                F64x4([
+                    self.0[0] $op rhs,
+                    self.0[1] $op rhs,
+                    self.0[2] $op rhs,
+                    self.0[3] $op rhs,
+                ])
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add, +);
+lanewise_binop!(Sub, sub, -);
+lanewise_binop!(Mul, mul, *);
+lanewise_binop!(Div, div, /);
+
+impl AddAssign for F64x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: F64x4) {
+        for l in 0..4 {
+            self.0[l] += rhs.0[l];
+        }
+    }
+}
+
+impl Neg for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn neg(self) -> F64x4 {
+        F64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_independent_scalar_ops() {
+        let a = F64x4([1.0, 2.5, -3.0, 1e-300]);
+        let b = F64x4([0.1, 4.0, 7.5, 3e10]);
+        let sum = a + b;
+        let prod = a * b;
+        let quot = a / b;
+        for l in 0..4 {
+            assert_eq!(sum.lane(l).to_bits(), (a.lane(l) + b.lane(l)).to_bits());
+            assert_eq!(prod.lane(l).to_bits(), (a.lane(l) * b.lane(l)).to_bits());
+            assert_eq!(quot.lane(l).to_bits(), (a.lane(l) / b.lane(l)).to_bits());
+        }
+        let sq = b.sqrt();
+        for l in 0..4 {
+            assert_eq!(sq.lane(l).to_bits(), b.lane(l).sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn load_and_gather() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(F64x4::load(&data, 3).to_array(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            F64x4::gather(&data, 1, 2).to_array(),
+            [1.0, 3.0, 5.0, 7.0]
+        );
+        assert_eq!(
+            F64x4::gather(&data, 0, 1).to_array(),
+            F64x4::load(&data, 0).to_array()
+        );
+    }
+
+    #[test]
+    fn accumulate_and_negate() {
+        let mut acc = F64x4::zero();
+        acc += F64x4::splat(1.5);
+        acc += F64x4([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(acc.to_array(), [2.5, 3.5, 4.5, 5.5]);
+        assert_eq!((-acc).to_array(), [-2.5, -3.5, -4.5, -5.5]);
+    }
+}

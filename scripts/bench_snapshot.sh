@@ -24,6 +24,31 @@ echo
 echo "== solver throughput snapshot =="
 cargo run --release -p bench --bin fmm_snapshot -- "${1:-3}" || fail "fmm_snapshot"
 
+# Scaling gate: with the same-level pass chunked, 2 workers must be at
+# least 0.9x serial throughput. A regression here means the pass
+# re-grew a serialization point (one monolithic task per node, a
+# blocking merge, ...), so fail loudly instead of archiving it.
+awk '
+    /"serial_subgrids_per_sec"/ { gsub(/[,"]/, ""); serial = $2 }
+    /"parallel_subgrids_per_sec"/ {
+        if (match($0, /"2": [0-9.]+/)) {
+            two = substr($0, RSTART + 5, RLENGTH - 5)
+        }
+    }
+    END {
+        if (serial == "" || two == "") {
+            print "!! BENCH FAILED: throughput fields missing from BENCH_fmm.json" > "/dev/stderr"
+            exit 1
+        }
+        ratio = two / serial
+        printf "scaling gate: 2-worker %.1f vs serial %.1f sub-grids/s (%.2fx)\n", two, serial, ratio
+        if (ratio < 0.9) {
+            printf "!! BENCH FAILED: 2-worker throughput %.2fx serial (< 0.9x) — same-level pass lost its parallelism\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }
+' BENCH_fmm.json || fail "fmm scaling gate"
+
 echo
 echo "== distributed real-driver transport comparison =="
 cargo run --release -p bench --bin fig3_real_solver -- "${2:-1}" || fail "fig3_real_solver"

@@ -2,8 +2,10 @@
 # Tier-1 gate: the checks every PR must keep green.
 #
 #   1. release build of the whole workspace (bins + benches included)
-#   2. the full test suite in quiet mode
-#   3. rustdoc with warnings denied (broken links, missing docs on amt)
+#   2. benches compile (cargo bench --no-run — `cargo build` skips them)
+#   3. the full test suite in quiet mode
+#   4. the FMM_CHUNK_CELLS knob round-trips builder → driver config
+#   5. rustdoc with warnings denied (broken links, missing docs on amt)
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -32,8 +34,17 @@ echo "== tier-1: cargo build --workspace --release =="
 cargo build --workspace --release
 
 echo
+echo "== tier-1: cargo bench --no-run (benches must keep compiling) =="
+cargo bench --workspace --no-run
+
+echo
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo
+echo "== tier-1: FMM_CHUNK_CELLS round-trip (builder -> driver config) =="
+cargo test -q -p integration-tests --test distributed_driver \
+    fmm_chunk_cells_round_trips_through_config_and_cluster
 
 echo
 echo "== tier-1: cargo doc --no-deps (warnings are errors) =="

@@ -205,6 +205,43 @@ fn moment_traffic_flows_when_gravity_is_on() {
     assert!(m.get("parcelport/libfabric/bytes_tx") >= m.get("driver/moments/bytes_tx"));
 }
 
+/// ISSUE 6 satellite: the FMM chunk-size knob round-trips end to end —
+/// `FMM_CHUNK_CELLS` → `Config` default, scenario `Config` → the
+/// single-node driver's solver, and a `ClusterBuilder` override → the
+/// distributed driver's solvers (winning over the scenario's value).
+/// Values are normalized to whole 8-cell rows on the way in.
+#[test]
+fn fmm_chunk_cells_round_trips_through_config_and_cluster() {
+    std::env::set_var("FMM_CHUNK_CELLS", "40");
+    assert_eq!(Config::self_gravitating().fmm_chunk_cells, 40);
+    std::env::remove_var("FMM_CHUNK_CELLS");
+
+    // Scenario config → single-node driver (20 normalizes up to 24).
+    let mut scenario = star_amr();
+    scenario.config.fmm_chunk_cells = 20;
+    let sim = Simulation::new(scenario);
+    assert_eq!(sim.fmm_chunk_cells(), Some(24));
+
+    // Cluster-level override wins over the scenario's.
+    let cluster = Arc::new(
+        Cluster::builder()
+            .localities(2)
+            .threads_per(1)
+            .fmm_chunk_cells(80)
+            .build(),
+    );
+    assert_eq!(cluster.fmm_chunk_cells(), Some(80));
+    let mut scenario = star_amr();
+    scenario.config.fmm_chunk_cells = 20;
+    let driver = DistributedDriver::new(scenario, cluster).expect("driver");
+    assert_eq!(driver.fmm_chunk_cells(), Some(80));
+
+    // No gravity → no solver → no chunk size to report.
+    let mut scenario = star_amr();
+    scenario.config.gravity = false;
+    assert_eq!(Simulation::new(scenario).fmm_chunk_cells(), None);
+}
+
 /// The PR-1 regression shape, under the distributed driver's real
 /// message size: blast interior-sized (~57 KB, rendezvous/RMA path)
 /// parcels from every locality at once, then demand full quiescence

@@ -5,7 +5,7 @@
 //! self-gravity.
 
 use gravity::gpu::GpuContext;
-use gravity::solver::FmmSolver;
+use gravity::solver::{FmmSolver, GravityField};
 use gpusim::device::{Device, DeviceSpec};
 use gpusim::launch_policy::QueuePolicy;
 use octotiger::diagnostics::{drift, totals};
@@ -14,7 +14,8 @@ use octotiger::Simulation;
 use octree::geometry::Domain;
 use octree::subgrid::Field;
 use octree::tree::Octree;
-use std::sync::Arc;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
 use util::morton::MortonKey;
 use util::vec3::Vec3;
 
@@ -67,6 +68,96 @@ fn assert_bit_identical(
                 assert_eq!(u.z.to_bits(), v.z.to_bits(), "{what}: z-component");
             }
         }
+    }
+}
+
+/// The hydro-only analog: a uniformly refined level-1 tree (no AMR
+/// jumps) with the blob density.
+fn hydro_blob_tree() -> Arc<Octree> {
+    let mut t = Octree::new(Domain::new(16.0));
+    t.refine_where(1, |_d, _k| true);
+    let domain = t.domain();
+    for key in t.leaves() {
+        let node = t.node_mut(key).unwrap();
+        let grid = node.grid.as_mut().unwrap();
+        for (i, j, k) in grid.indexer().interior() {
+            let c = domain.cell_center(key, i, j, k);
+            grid.set(Field::Rho, i, j, k, blob(c));
+        }
+    }
+    Arc::new(t)
+}
+
+/// Serial references computed once and shared by the matrix tests and
+/// the proptest below (the serial walk dominates their runtime).
+fn serial_reference(star_amr: bool) -> &'static (Arc<Octree>, GravityField) {
+    static BLOB: OnceLock<(Arc<Octree>, GravityField)> = OnceLock::new();
+    static AMR: OnceLock<(Arc<Octree>, GravityField)> = OnceLock::new();
+    let cell = if star_amr { &AMR } else { &BLOB };
+    cell.get_or_init(|| {
+        let tree = if star_amr { amr_tree() } else { hydro_blob_tree() };
+        let serial = FmmSolver::new(0.5).solve(&tree);
+        (tree, serial)
+    })
+}
+
+/// One chunked parallel solve compared bit-for-bit against the cached
+/// serial reference.
+fn check_chunked(star_amr: bool, chunk: usize, workers: usize) {
+    let (tree, serial) = serial_reference(star_amr);
+    let solver = Arc::new(FmmSolver::new(0.5).with_chunk_cells(chunk));
+    let rt = amt::Runtime::new(workers);
+    let par = solver.solve_parallel(tree, &rt);
+    let what = format!(
+        "star_amr={star_amr} chunk={chunk} ({} effective) workers={workers}",
+        solver.chunk_cells()
+    );
+    assert_eq!(
+        par.interactions_same_level, serial.interactions_same_level,
+        "{what}: same-level interaction count"
+    );
+    assert_eq!(
+        par.interactions_near_field, serial.interactions_near_field,
+        "{what}: near-field interaction count"
+    );
+    assert_bit_identical(tree, serial, &par, &what);
+}
+
+/// ISSUE 6 satellite: the chunk-size × worker matrix on the hydro-only
+/// scenario. Chunk inputs 1 (one row slab), 4 (normalized up to one
+/// slab), 64, and 512 (whole node) must all reproduce the serial bits.
+#[test]
+fn chunk_matrix_is_bit_identical_on_hydro_blob() {
+    for chunk in [1usize, 4, 64, 512] {
+        for workers in [1usize, 2, 4] {
+            check_chunked(false, chunk, workers);
+        }
+    }
+}
+
+/// The same matrix on the two-level AMR star analog, which exercises
+/// cross-level gathering, the root's offset kernel, and L2L.
+#[test]
+fn chunk_matrix_is_bit_identical_on_star_amr() {
+    for chunk in [1usize, 4, 64, 512] {
+        for workers in [1usize, 2, 4] {
+            check_chunked(true, chunk, workers);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeded sweep: arbitrary chunk sizes (normalization included) and
+    /// worker counts never change a bit on either scenario.
+    #[test]
+    fn random_chunk_sizes_never_change_bits(
+        chunk in 1usize..513,
+        workers in 1usize..5,
+        scenario in 0usize..2,
+    ) {
+        check_chunked(scenario == 1, chunk, workers);
     }
 }
 
