@@ -100,6 +100,9 @@ pub enum TraceCategory {
     FmmLeafAssembly,
     /// A kernel launch routed to the simulated GPU (§5.1 policy).
     GpuLaunch,
+    /// An aggregation-region flush: a batch of same-kind kernel work
+    /// items fused into one launch (or degraded per-item to the CPU).
+    AggFlush,
     /// Per-leaf hydro right-hand-side evaluation.
     HydroRhs,
     /// A TVD-RK2 stage state update on one leaf.
@@ -142,6 +145,7 @@ serde::impl_codec_enum_unit!(TraceCategory {
     FmmL2L,
     FmmLeafAssembly,
     GpuLaunch,
+    AggFlush,
     HydroRhs,
     HydroApply,
     Step,
@@ -172,6 +176,7 @@ impl TraceCategory {
         TraceCategory::FmmL2L,
         TraceCategory::FmmLeafAssembly,
         TraceCategory::GpuLaunch,
+        TraceCategory::AggFlush,
         TraceCategory::HydroRhs,
         TraceCategory::HydroApply,
         TraceCategory::Step,
@@ -203,6 +208,7 @@ impl TraceCategory {
             TraceCategory::FmmL2L => "fmm/l2l",
             TraceCategory::FmmLeafAssembly => "fmm/leaf-assembly",
             TraceCategory::GpuLaunch => "fmm/gpu-launch",
+            TraceCategory::AggFlush => "fmm/agg-flush",
             TraceCategory::HydroRhs => "hydro/rhs",
             TraceCategory::HydroApply => "hydro/apply",
             TraceCategory::Step => "driver/step",

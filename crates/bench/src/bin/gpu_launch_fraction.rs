@@ -59,6 +59,85 @@ fn measured_split(n_streams: usize, policy: QueuePolicy, label: &str) {
     );
 }
 
+/// One batched solve over the measured tree with the given aggregation
+/// thresholds (QueueOnBusy so every item lands on a stream and the
+/// launch counts are deterministic). Returns `(items, fused launches)`.
+fn aggregated_run(slots: usize, window: usize) -> (u64, u64) {
+    let tree = measured_tree();
+    let dev = Device::new(DeviceSpec::p100(), 8);
+    let solver = Arc::new(
+        FmmSolver::with_gpu(0.5, GpuContext::new(&dev, 4, QueuePolicy::QueueOnBusy))
+            .with_aggregation(slots, window),
+    );
+    let rt = Runtime::new(4);
+    let _ = solver.solve_parallel(&tree, &rt);
+    let agg = solver.gpu().unwrap().agg_stats();
+    (agg.items_gpu(), agg.batches_gpu())
+}
+
+/// The work-aggregation launch collapse (ISSUE 7): the same solve, per
+/// item vs batched, and what the per-launch overhead model says that
+/// saves. Appends an `"aggregation"` section to `BENCH_fmm.json`.
+fn aggregation_collapse() {
+    println!();
+    println!("Work aggregation (arXiv:2210.06438): fused launches for the");
+    println!("same solve, slot sweep (window = 4 x slots, QueueOnBusy):");
+    println!("{}", "-".repeat(72));
+    let overhead_us = DeviceSpec::p100().launch_overhead_us;
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>14}",
+        "slots", "items", "launches", "collapse", "overhead (µs)"
+    );
+    let mut sweep = String::new();
+    let mut batched = (0u64, 0u64);
+    for slots in [1usize, 2, 4, 8, 16, 32] {
+        let (items, launches) = aggregated_run(slots, 4 * slots);
+        let collapse = items as f64 / launches as f64;
+        println!(
+            "{:<10} {:>8} {:>10} {:>9.2}x {:>14.1}",
+            slots,
+            items,
+            launches,
+            collapse,
+            launches as f64 * overhead_us
+        );
+        if !sweep.is_empty() {
+            sweep.push_str(", ");
+        }
+        sweep.push_str(&format!("\"{slots}\": {launches}"));
+        if slots == 8 {
+            batched = (items, launches);
+        }
+    }
+    let (items, launches) = batched;
+    let baseline = items; // per-item: one launch per kernel
+    let collapse = baseline as f64 / launches as f64;
+    let saved_us = (baseline - launches) as f64 * overhead_us;
+    println!("{}", "-".repeat(72));
+    println!(
+        "default (8 slots): {baseline} -> {launches} launches ({collapse:.2}x), \
+         modeled launch-overhead saving {saved_us:.0} µs/solve"
+    );
+    let section = format!(
+        "  \"aggregation\": {{\n    \
+         \"kernel_items\": {items},\n    \
+         \"baseline_launches\": {baseline},\n    \
+         \"batched_launches\": {launches},\n    \
+         \"collapse_factor\": {collapse:.3},\n    \
+         \"agg_slots\": 8,\n    \
+         \"agg_window\": 32,\n    \
+         \"launch_overhead_us\": {overhead_us:.1},\n    \
+         \"baseline_overhead_us\": {:.1},\n    \
+         \"batched_overhead_us\": {:.1},\n    \
+         \"modeled_overhead_saving_us\": {saved_us:.1},\n    \
+         \"launches_by_slots\": {{ {sweep} }}\n  }}",
+        baseline as f64 * overhead_us,
+        launches as f64 * overhead_us,
+    );
+    bench::merge_json_section("BENCH_fmm.json", "aggregation", &section);
+    println!("merged \"aggregation\" into BENCH_fmm.json");
+}
+
 fn main() {
     println!("§6.1.2 — fraction of FMM kernels launched on the GPU");
     println!("{}", "=".repeat(72));
@@ -96,4 +175,5 @@ fn main() {
     measured_split(4, QueuePolicy::CpuFallback, "4 streams, CPU fallback");
     measured_split(1, QueuePolicy::CpuFallback, "1 stream, CPU fallback (starved)");
     measured_split(4, QueuePolicy::QueueOnBusy, "4 streams, queue on busy (the fix)");
+    aggregation_collapse();
 }

@@ -3,6 +3,86 @@
 use hydro::eos::IdealGas;
 use octree::halo::BoundaryCondition;
 
+/// The tunable performance knobs and their one override chain.
+///
+/// Three channels can set a knob, and before this module each grew its
+/// own ad-hoc plumbing. The precedence is now defined in exactly one
+/// place — [`Knob::resolve`](crate::config::knobs::Knob::resolve) —
+/// and is, from weakest to strongest:
+///
+/// 1. the built-in default,
+/// 2. the environment variable (read once, when the [`Config`] is
+///    built — [`Knob::from_env`](crate::config::knobs::Knob::from_env)),
+/// 3. the scenario's explicit [`Config`] field,
+/// 4. a `ClusterBuilder` override (deployment beats scenario).
+///
+/// Every channel funnels through the same `normalize` function, so an
+/// out-of-range value is clamped identically no matter where it came
+/// from.
+pub mod knobs {
+    /// One tunable: its name, environment variable, default, and the
+    /// normalization every override channel passes through.
+    pub struct Knob {
+        /// The `Config` field name (documentation only).
+        pub name: &'static str,
+        /// The environment variable that seeds the default.
+        pub env: &'static str,
+        /// Built-in default (pre-normalization input).
+        pub default: usize,
+        /// Clamp/round an arbitrary user value into the valid range.
+        pub normalize: fn(usize) -> usize,
+    }
+
+    /// Target cells per FMM same-level chunk task (rounded to whole
+    /// 8-cell rows, clamped to `[8, 512]` by the solver's rule).
+    pub const FMM_CHUNK_CELLS: Knob = Knob {
+        name: "fmm_chunk_cells",
+        env: "FMM_CHUNK_CELLS",
+        default: gravity::solver::DEFAULT_CHUNK_CELLS,
+        normalize: gravity::solver::normalize_chunk_cells,
+    };
+
+    fn at_least_one(n: usize) -> usize {
+        n.max(1)
+    }
+
+    /// Same-kind work items per fused GPU batch (≥ 1; the pairwise
+    /// `window ≥ slots` constraint is enforced when the two knobs meet
+    /// in `AggregationConfig::new`).
+    pub const FMM_AGG_SLOTS: Knob = Knob {
+        name: "fmm_agg_slots",
+        env: "FMM_AGG_SLOTS",
+        default: gravity::gpu::DEFAULT_AGG_SLOTS,
+        normalize: at_least_one,
+    };
+
+    /// Total buffered work items (across kinds) before a forced flush.
+    pub const FMM_AGG_WINDOW: Knob = Knob {
+        name: "fmm_agg_window",
+        env: "FMM_AGG_WINDOW",
+        default: gravity::gpu::DEFAULT_AGG_WINDOW,
+        normalize: at_least_one,
+    };
+
+    impl Knob {
+        /// The environment channel: parse `self.env`, normalize, fall
+        /// back to the (normalized) default when unset or unparsable.
+        pub fn from_env(&self) -> usize {
+            let parsed = std::env::var(self.env)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok());
+            (self.normalize)(parsed.unwrap_or(self.default))
+        }
+
+        /// The full chain's last two links: a builder-level override
+        /// beats the `Config` value; either way the result is
+        /// normalized.
+        pub fn resolve(&self, builder_override: Option<usize>, config_value: usize) -> usize {
+            (self.normalize)(builder_override.unwrap_or(config_value))
+        }
+    }
+}
+
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy)]
 pub struct Config {
@@ -17,8 +97,15 @@ pub struct Config {
     /// FMM opening parameter θ.
     pub theta: f64,
     /// Target cells per FMM same-level chunk task (normalized to whole
-    /// 8-cell rows by the solver; 512 = one task per node).
+    /// 8-cell rows by the solver; 512 = one task per node). Override
+    /// chain: [`knobs::FMM_CHUNK_CELLS`].
     pub fmm_chunk_cells: usize,
+    /// Same-kind kernel work items per fused GPU batch
+    /// ([`knobs::FMM_AGG_SLOTS`]; 1 = no batching).
+    pub fmm_agg_slots: usize,
+    /// Total buffered kernel work items before a forced flush
+    /// ([`knobs::FMM_AGG_WINDOW`]).
+    pub fmm_agg_window: usize,
     /// Physical boundary condition.
     pub bc: BoundaryCondition,
     /// Scheduler worker threads for the futurized update.
@@ -37,7 +124,9 @@ impl Default for Config {
             omega: 0.0,
             gravity: false,
             theta: 0.5,
-            fmm_chunk_cells: gravity::solver::default_chunk_cells(),
+            fmm_chunk_cells: knobs::FMM_CHUNK_CELLS.from_env(),
+            fmm_agg_slots: knobs::FMM_AGG_SLOTS.from_env(),
+            fmm_agg_window: knobs::FMM_AGG_WINDOW.from_env(),
             bc: BoundaryCondition::Outflow,
             threads: 4,
             floors: false,
@@ -67,6 +156,8 @@ impl Config {
         assert!(self.cfl > 0.0 && self.cfl < 1.0, "CFL out of range");
         assert!(self.theta > 0.0 && self.theta <= 1.0, "theta out of range");
         assert!(self.fmm_chunk_cells >= 1, "need a positive chunk size");
+        assert!(self.fmm_agg_slots >= 1, "need at least one batch slot");
+        assert!(self.fmm_agg_window >= 1, "need a positive flush window");
         assert!(self.threads >= 1, "need at least one thread");
     }
 }
@@ -89,5 +180,14 @@ mod tests {
     #[should_panic(expected = "CFL")]
     fn bad_cfl_rejected() {
         Config { cfl: 1.5, ..Config::default() }.validate();
+    }
+
+    #[test]
+    fn knob_resolve_prefers_builder_and_normalizes() {
+        assert_eq!(knobs::FMM_CHUNK_CELLS.resolve(None, 40), 40);
+        assert_eq!(knobs::FMM_CHUNK_CELLS.resolve(Some(20), 40), 24);
+        assert_eq!(knobs::FMM_CHUNK_CELLS.resolve(None, 3), 8);
+        assert_eq!(knobs::FMM_AGG_SLOTS.resolve(Some(0), 8), 1);
+        assert_eq!(knobs::FMM_AGG_WINDOW.resolve(None, 0), 1);
     }
 }

@@ -150,11 +150,16 @@ impl DistributedDriver {
     pub fn new(scenario: Scenario, cluster: Arc<Cluster>) -> Result<DistributedDriver> {
         scenario.config.validate();
         let mut config = scenario.config;
-        // A cluster-level chunk-size override wins over the scenario's,
-        // so one builder call configures every locality's solver.
-        if let Some(n) = cluster.fmm_chunk_cells() {
-            config.fmm_chunk_cells = n;
-        }
+        // Cluster-level knob overrides win over the scenario's, so one
+        // builder call configures every locality's solver. The chain
+        // (and the shared normalization) lives in `config::knobs`.
+        use crate::config::knobs;
+        config.fmm_chunk_cells =
+            knobs::FMM_CHUNK_CELLS.resolve(cluster.fmm_chunk_cells(), config.fmm_chunk_cells);
+        config.fmm_agg_slots =
+            knobs::FMM_AGG_SLOTS.resolve(cluster.fmm_agg_slots(), config.fmm_agg_slots);
+        config.fmm_agg_window =
+            knobs::FMM_AGG_WINDOW.resolve(cluster.fmm_agg_window(), config.fmm_agg_window);
         let tree = scenario.tree;
         let n = cluster.len();
         let shard = ShardMap::partition(&tree, n)?;
@@ -234,7 +239,11 @@ impl DistributedDriver {
             config,
             stepper: HydroStepper::new(config.eos),
             solver: config.gravity.then(|| {
-                Arc::new(FmmSolver::new(config.theta).with_chunk_cells(config.fmm_chunk_cells))
+                Arc::new(
+                    FmmSolver::new(config.theta)
+                        .with_chunk_cells(config.fmm_chunk_cells)
+                        .with_aggregation(config.fmm_agg_slots, config.fmm_agg_window),
+                )
             }),
             frame: RotatingFrame::new(config.omega),
             time: 0.0,
@@ -255,6 +264,13 @@ impl DistributedDriver {
     /// override when one was set.
     pub fn fmm_chunk_cells(&self) -> Option<usize> {
         self.solver.as_ref().map(|s| s.chunk_cells())
+    }
+
+    /// The effective work-aggregation thresholds of every locality's
+    /// solver (`None` when gravity is off). Reflects cluster-level
+    /// overrides when set.
+    pub fn fmm_aggregation(&self) -> Option<gravity::gpu::AggregationConfig> {
+        self.solver.as_ref().map(|s| s.agg_config())
     }
 
     /// The leaf → locality assignment.

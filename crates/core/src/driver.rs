@@ -148,7 +148,11 @@ impl Simulation {
             config,
             stepper: HydroStepper::new(config.eos),
             solver: config.gravity.then(|| {
-                Arc::new(FmmSolver::new(config.theta).with_chunk_cells(config.fmm_chunk_cells))
+                Arc::new(
+                    FmmSolver::new(config.theta)
+                        .with_chunk_cells(config.fmm_chunk_cells)
+                        .with_aggregation(config.fmm_agg_slots, config.fmm_agg_window),
+                )
             }),
             frame: RotatingFrame::new(config.omega),
             rt: Runtime::new(config.threads),
@@ -162,6 +166,12 @@ impl Simulation {
     /// solver (`None` when gravity is off).
     pub fn fmm_chunk_cells(&self) -> Option<usize> {
         self.solver.as_ref().map(|s| s.chunk_cells())
+    }
+
+    /// The effective work-aggregation thresholds of this simulation's
+    /// solver (`None` when gravity is off).
+    pub fn fmm_aggregation(&self) -> Option<gravity::gpu::AggregationConfig> {
+        self.solver.as_ref().map(|s| s.agg_config())
     }
 
     /// The current tree.

@@ -16,6 +16,7 @@
 //! [`QueuePolicy::QueueOnBusy`] variant (the fix promised for the next
 //! Octo-Tiger version, reproduced here as an ablation).
 
+use crate::aggregation::AggItem;
 use crate::stream::CudaStream;
 use amt::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +40,16 @@ pub enum LaunchOutcome {
     CpuFallback(Box<dyn FnOnce() + Send + 'static>),
 }
 
+/// Where a *fused batch* of work items ended up.
+pub enum FusedOutcome {
+    /// The whole batch was enqueued as one device launch; the future
+    /// fires when the batch completes.
+    Gpu(Future<()>),
+    /// All owned streams were busy; the items are handed back and the
+    /// caller must run each on the CPU (already counted in the stats).
+    CpuFallback(Vec<AggItem>),
+}
+
 /// Counters for the GPU/CPU launch split.
 #[derive(Default)]
 pub struct LaunchStats {
@@ -57,6 +68,18 @@ impl LaunchStats {
 
     pub fn count_cpu(&self) {
         self.cpu.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` kernels launched on the GPU at once (a fused batch
+    /// still counts its items individually — the §6.1.2 fraction is a
+    /// per-kernel observable, independent of batching).
+    pub fn count_gpu_n(&self, n: u64) {
+        self.gpu.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` kernels that fell back to the CPU at once.
+    pub fn count_cpu_n(&self, n: u64) {
+        self.cpu.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn gpu_launches(&self) -> u64 {
@@ -124,21 +147,60 @@ impl StreamPool {
             self.stats.count_gpu();
             return LaunchOutcome::Gpu(s.record_event());
         }
+        // A pool with no streams has nothing to queue on either: both
+        // policies degrade to the CPU.
         match self.policy {
-            QueuePolicy::CpuFallback => {
-                self.stats.count_cpu();
-                LaunchOutcome::CpuFallback(Box::new(kernel))
-            }
-            QueuePolicy::QueueOnBusy => {
-                let s = self
-                    .streams
-                    .iter()
-                    .min_by_key(|s| s.backlog())
-                    .expect("QueueOnBusy requires at least one stream");
+            QueuePolicy::QueueOnBusy if !self.streams.is_empty() => {
+                let s = self.streams.iter().min_by_key(|s| s.backlog()).unwrap();
                 s.enqueue(kernel);
                 self.stats.count_gpu();
                 LaunchOutcome::Gpu(s.record_event())
             }
+            _ => {
+                self.stats.count_cpu();
+                LaunchOutcome::CpuFallback(Box::new(kernel))
+            }
+        }
+    }
+
+    /// Launch a *fused batch*: the same §5.1 decision as
+    /// [`StreamPool::launch`], but the whole batch is one device launch
+    /// running every item in submission order. On CPU fallback the
+    /// items are handed back untouched so the caller degrades per item.
+    /// [`LaunchStats`] counts items, not batches, either way.
+    pub fn launch_fused(&self, items: Vec<AggItem>) -> FusedOutcome {
+        let n = items.len() as u64;
+        if let Some(s) = self.streams.iter().find(|s| s.is_idle()) {
+            self.stats.count_gpu_n(n);
+            s.enqueue(move || {
+                for item in items {
+                    item(true);
+                }
+            });
+            return FusedOutcome::Gpu(s.record_event());
+        }
+        match self.policy {
+            QueuePolicy::QueueOnBusy if !self.streams.is_empty() => {
+                let s = self.streams.iter().min_by_key(|s| s.backlog()).unwrap();
+                self.stats.count_gpu_n(n);
+                s.enqueue(move || {
+                    for item in items {
+                        item(true);
+                    }
+                });
+                FusedOutcome::Gpu(s.record_event())
+            }
+            _ => {
+                self.stats.count_cpu_n(n);
+                FusedOutcome::CpuFallback(items)
+            }
+        }
+    }
+
+    /// Block until every stream of this pool has drained.
+    pub fn synchronize(&self) {
+        for s in &self.streams {
+            s.synchronize();
         }
     }
 

@@ -25,10 +25,18 @@
 //! hardware characteristics (SM count, double-precision peak) that the
 //! `perfmodel` crate uses to regenerate Table 2's GFLOP/s numbers.
 
+//! A fourth ingredient comes from the follow-up paper on task-based
+//! GPU work aggregation (arXiv:2210.06438): [`aggregation`] collects
+//! same-kind kernel work items into slot windows and fuses each batch
+//! into one stream launch, collapsing the per-launch overhead while the
+//! §5.1 CPU fallback still degrades per item.
+
+pub mod aggregation;
 pub mod device;
 pub mod launch_policy;
 pub mod stream;
 
+pub use aggregation::{AggItem, AggregationConfig, AggregationRegion, AggregationStats};
 pub use device::{Device, DeviceSpec};
-pub use launch_policy::{LaunchOutcome, LaunchStats, StreamPool};
+pub use launch_policy::{FusedOutcome, LaunchOutcome, LaunchStats, StreamPool};
 pub use stream::CudaStream;

@@ -46,7 +46,7 @@
 //! environment variable or [`FmmSolver::with_chunk_cells`].
 
 use crate::expansion::LocalExpansion;
-use crate::gpu::{GpuContext, LaunchSite};
+use crate::gpu::{AggregationConfig, GpuContext, KernelKind, LaunchSite, SlabDesc, HIST_LABELS};
 use crate::kernels::{
     gather_moments_into, monopole_kernel_into, monopole_kernel_range_into,
     monopole_kernel_stencil_into, monopole_kernel_stencil_range_into, multipole_kernel_into,
@@ -326,10 +326,14 @@ pub fn default_chunk_cells() -> usize {
     }
 }
 
-/// What one chunk task returns: `(slab start, slab expansions,
-/// same-level interactions, near-field interactions, gpu launches,
-/// cpu launches)`.
-type ChunkResult = (usize, Vec<LocalExpansion>, u64, u64, u64, u64);
+/// What one typed kernel work item computes: `(kernel kind, slab
+/// start, slab expansions, interactions)`.
+type ItemResult = (KernelKind, usize, Vec<LocalExpansion>, u64);
+
+/// What the fan's per-item futures resolve to: the item result plus
+/// where the launch landed (§5.1 decision, per item even inside a
+/// fused batch).
+type ChunkItem = (ItemResult, LaunchSite);
 
 /// Everything the merge continuation of one node hands back through
 /// its promise.
@@ -389,21 +393,47 @@ impl ChunkedPass {
         let _fan = gather.then(&pass.sched, move |(grid, any_quad)| {
             let is_leaf = p.tree.is_leaf(key);
             let chunk_cells = p.solver.chunk_cells;
-            let mut chunk_futs = Vec::with_capacity((N_CELLS + chunk_cells - 1) / chunk_cells);
+            let worker = p.sched.current_worker();
+            let n_slabs = (N_CELLS + chunk_cells - 1) / chunk_cells;
+            let mut item_futs: Vec<Future<ChunkItem>> =
+                Vec::with_capacity(if is_leaf { 2 * n_slabs } else { n_slabs });
+            let mut chunks = 0u64;
             let mut start = 0;
             while start < N_CELLS {
                 let end = (start + chunk_cells).min(N_CELLS);
-                let solver = Arc::clone(&p.solver);
-                let sched = Arc::clone(&p.sched);
-                let grid = Arc::clone(&grid);
-                chunk_futs.push(p.rt.async_call(move || {
-                    solver.same_level_chunk(&sched, &grid, key, any_quad, is_leaf, start, end)
-                }));
+                item_futs.push(ChunkedPass::submit_item(
+                    &p,
+                    worker,
+                    &grid,
+                    key,
+                    any_quad,
+                    KernelKind::SameLevel,
+                    start,
+                    end,
+                ));
+                chunks += 1;
+                if is_leaf {
+                    item_futs.push(ChunkedPass::submit_item(
+                        &p,
+                        worker,
+                        &grid,
+                        key,
+                        any_quad,
+                        KernelKind::NearField,
+                        start,
+                        end,
+                    ));
+                }
                 start = end;
             }
-            let chunks = chunk_futs.len() as u64;
+            // This producer is now idle: whatever the slot/window
+            // thresholds left buffered goes out as fused batches (or
+            // degrades per item on the CPU) before the fan returns.
+            if let Some(ctx) = p.solver.gpu.as_ref() {
+                ctx.flush(worker);
+            }
             let p2 = Arc::clone(&p);
-            let _merge = when_all(&p.sched, chunk_futs).then(&p.sched, move |results| {
+            let _merge = when_all(&p.sched, item_futs).then(&p.sched, move |results| {
                 let mut out = p2.solver.scratch.take_expansions();
                 out.clear();
                 out.resize(N_CELLS, LocalExpansion::default());
@@ -416,15 +446,34 @@ impl ChunkedPass {
                     cpu_launches: 0,
                     chunks,
                 };
-                for (start, buf, n_same, n_near, gpu, cpu) in results {
-                    o.out[start..start + buf.len()].copy_from_slice(&buf);
-                    p2.solver.scratch.put_expansions(buf);
-                    o.interactions_same += n_same;
-                    o.interactions_near += n_near;
-                    o.gpu_launches += gpu;
-                    o.cpu_launches += cpu;
+                // Place the same-level slabs first and stash the
+                // near-field ones, then fold near-field in per cell —
+                // the same single `add` per cell the pre-aggregation
+                // chunk task performed, so the accumulation order (and
+                // every bit) is unchanged.
+                let mut near_slabs = Vec::new();
+                for ((kind, start, buf, n), site) in results {
+                    o.gpu_launches += (site == LaunchSite::Gpu) as u64;
+                    o.cpu_launches += (site == LaunchSite::Cpu) as u64;
+                    match kind {
+                        KernelKind::SameLevel => {
+                            o.out[start..start + buf.len()].copy_from_slice(&buf);
+                            o.interactions_same += n;
+                            p2.solver.scratch.put_expansions(buf);
+                        }
+                        KernelKind::NearField => {
+                            o.interactions_near += n;
+                            near_slabs.push((start, buf));
+                        }
+                    }
                 }
-                // Every chunk task drops its grid clone before setting
+                for (start, buf) in near_slabs {
+                    for (i, ne) in buf.iter().enumerate() {
+                        o.out[start + i].add(ne);
+                    }
+                    p2.solver.scratch.put_expansions(buf);
+                }
+                // Every work item drops its grid clone before setting
                 // its promise, so by now we deterministically hold the
                 // last reference.
                 if let Ok(grid) = Arc::try_unwrap(grid) {
@@ -436,6 +485,33 @@ impl ChunkedPass {
                 promise.set_value(o);
             });
         });
+    }
+
+    /// Submit one typed kernel work item for the slab `[start, end)` of
+    /// `key`: through the GPU context's aggregating
+    /// [`GpuContext::submit`] when one is attached, as a plain
+    /// scheduler task otherwise. Either way the body is
+    /// [`FmmSolver::chunk_kernel`] on a leased scratch buffer, so the
+    /// result is bit-identical across paths.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_item(
+        pass: &Arc<ChunkedPass>,
+        worker: Option<usize>,
+        grid: &Arc<MomentGrid>,
+        key: MortonKey,
+        any_quad: bool,
+        kind: KernelKind,
+        start: usize,
+        end: usize,
+    ) -> Future<ChunkItem> {
+        let solver = Arc::clone(&pass.solver);
+        let grid = Arc::clone(grid);
+        let buf = pass.solver.scratch.take_expansions();
+        let compute = move || solver.chunk_kernel(&grid, key, any_quad, kind, start, end, buf);
+        match pass.solver.gpu.as_ref() {
+            Some(ctx) => ctx.submit(worker, kind, SlabDesc { node: key, start, end }, compute),
+            None => pass.rt.async_call(move || (compute(), LaunchSite::Cpu)),
+        }
     }
 }
 
@@ -455,6 +531,10 @@ pub struct FmmSolver {
     /// Target cells per same-level chunk task (normalized to whole
     /// rows). 512 restores the one-task-per-node behaviour.
     chunk_cells: usize,
+    /// Work-aggregation thresholds (slots per kind, total window).
+    /// Mirrors the attached context's configuration; kept here too so
+    /// CPU-only solvers still report the knobs they were built with.
+    agg: AggregationConfig,
 }
 
 impl FmmSolver {
@@ -482,6 +562,25 @@ impl FmmSolver {
         self.chunk_cells
     }
 
+    /// Override the work-aggregation thresholds (builder style):
+    /// `slots` items of one kind fuse into one batch, `window` bounds
+    /// the total buffered items before everything flushes. `(1, 1)`
+    /// disables batching (every item is its own launch). Normalized
+    /// through [`AggregationConfig::new`] and applied to the attached
+    /// GPU context when one is present.
+    pub fn with_aggregation(mut self, slots: usize, window: usize) -> FmmSolver {
+        self.agg = AggregationConfig::new(slots, window);
+        if let Some(ctx) = &self.gpu {
+            ctx.set_aggregation(self.agg);
+        }
+        self
+    }
+
+    /// The effective work-aggregation thresholds.
+    pub fn agg_config(&self) -> AggregationConfig {
+        self.agg
+    }
+
     fn build(theta: f64, gpu: Option<GpuContext>) -> FmmSolver {
         let sep2 = crate::stencil::separation2(theta);
         let reach = N_SUB as i32 - 1;
@@ -498,6 +597,10 @@ impl FmmSolver {
                 }
             }
         }
+        let agg = gpu
+            .as_ref()
+            .map(|c| c.agg_config())
+            .unwrap_or_else(AggregationConfig::from_env);
         FmmSolver {
             stencil: Stencil::generate(theta),
             near_field: Stencil::near_field(theta),
@@ -505,6 +608,7 @@ impl FmmSolver {
             scratch: ScratchPool::new(),
             gpu,
             chunk_cells: default_chunk_cells(),
+            agg,
         }
     }
 
@@ -741,92 +845,37 @@ impl FmmSolver {
         }
     }
 
-    /// Execute a kernel closure through the §5.1 launch decision (when
-    /// a GPU context is attached) or inline. Returns the closure's
-    /// result and where it ran.
-    fn routed<T: Send + 'static>(
-        &self,
-        worker: Option<usize>,
-        f: impl FnOnce() -> T + Send + 'static,
-    ) -> (T, LaunchSite) {
-        match &self.gpu {
-            None => (f(), LaunchSite::Cpu),
-            Some(ctx) => {
-                let slot = Arc::new(Mutex::new(None));
-                let s = Arc::clone(&slot);
-                let mut span = trace::span(TraceCategory::GpuLaunch);
-                let site = ctx.run(worker, move || *s.lock() = Some(f()));
-                // Only keep the span when the launch actually went to
-                // the simulated GPU; CPU fallbacks are timed by their
-                // enclosing pass span.
-                if site != LaunchSite::Gpu {
-                    span.cancel();
-                }
-                let value = slot.lock().take().expect("kernel executed");
-                (value, site)
-            }
-        }
-    }
-
-    /// One same-level chunk: the M2L kernel over the target-cell slab
-    /// `[start, end)` and, on leaves, the near-field P2P over the same
-    /// slab folded in cell by cell (the per-cell operation the serial
-    /// walk performs after its whole-node kernels). Buffers lease from
-    /// the scratch pool; both launches go through the §5.1 routing.
-    /// Returns `(start, slab expansions, same-level interactions,
-    /// near-field interactions, gpu launches, cpu launches)`.
+    /// One typed kernel work item: run `kind`'s range kernel over the
+    /// target-cell slab `[start, end)` into the leased `buf`. This body
+    /// is what executes — identically — inside a fused GPU batch and
+    /// on the per-item CPU fallback, which is why batching can never
+    /// change a bit of the output.
     #[allow(clippy::too_many_arguments)]
-    fn same_level_chunk(
-        self: &Arc<Self>,
-        sched: &Arc<Scheduler>,
-        grid: &Arc<MomentGrid>,
+    fn chunk_kernel(
+        &self,
+        grid: &MomentGrid,
         key: MortonKey,
         any_quad: bool,
-        is_leaf: bool,
+        kind: KernelKind,
         start: usize,
         end: usize,
-    ) -> ChunkResult {
-        let worker = sched.current_worker();
-        let buf = self.scratch.take_expansions();
-        let ((mut buf, n_same), site) = {
-            let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || {
-                format!("{key:?} [{start}..{end})")
-            });
-            let solver = Arc::clone(self);
-            let grid = Arc::clone(grid);
-            self.routed(worker, move || {
-                let mut buf = buf;
-                let n = solver
-                    .same_level_kernel_range_into(&grid, key.level, any_quad, start, end, &mut buf);
-                (buf, n)
-            })
-        };
-        let mut gpu_launches = (site == LaunchSite::Gpu) as u64;
-        let mut cpu_launches = (site == LaunchSite::Cpu) as u64;
-        let mut n_near = 0u64;
-        if is_leaf {
-            let near = self.scratch.take_expansions();
-            let ((near, n), site) = {
+        mut buf: Vec<LocalExpansion>,
+    ) -> ItemResult {
+        let n = match kind {
+            KernelKind::SameLevel => {
+                let _span = trace::span_labeled(TraceCategory::FmmSameLevel, || {
+                    format!("{key:?} [{start}..{end})")
+                });
+                self.same_level_kernel_range_into(grid, key.level, any_quad, start, end, &mut buf)
+            }
+            KernelKind::NearField => {
                 let _span = trace::span_labeled(TraceCategory::FmmNearField, || {
                     format!("{key:?} [{start}..{end})")
                 });
-                let solver = Arc::clone(self);
-                let grid = Arc::clone(grid);
-                self.routed(worker, move || {
-                    let mut near = near;
-                    let n = solver.near_field_kernel_range_into(&grid, any_quad, start, end, &mut near);
-                    (near, n)
-                })
-            };
-            n_near = n;
-            gpu_launches += (site == LaunchSite::Gpu) as u64;
-            cpu_launches += (site == LaunchSite::Cpu) as u64;
-            for (e, ne) in buf.iter_mut().zip(near.iter()) {
-                e.add(ne);
+                self.near_field_kernel_range_into(grid, any_quad, start, end, &mut buf)
             }
-            self.scratch.put_expansions(near);
-        }
-        (start, buf, n_same, n_near, gpu_launches, cpu_launches)
+        };
+        (kind, start, buf, n)
     }
 
     /// The chunked same-level pass over `keys` (see the module docs):
@@ -849,12 +898,13 @@ impl FmmSolver {
         // Grids: at most `window` nodes are gathered-but-unmerged (the
         // next gather is only launched from a merge). Expansions: one
         // long-lived buffer per node (held until the downward pass is
-        // done) + every chunk buffer of the in-flight window + one
-        // near-field temporary per concurrently executing chunk task.
+        // done) + every work-item buffer of the in-flight window (up
+        // to two per slab — same-level and near-field — leased at
+        // submit time and returned by the merge).
         self.scratch.ensure(
             window,
             self.gather_width(),
-            n_nodes + window * chunks_per_node + concurrency,
+            n_nodes + 2 * window * chunks_per_node,
         );
 
         let mut node_futs: Vec<Future<NodeOutcome>> = Vec::with_capacity(n_nodes);
@@ -1058,6 +1108,34 @@ impl FmmSolver {
         metrics
             .counter("fmm/interactions/near_field")
             .add(totals.interactions_near);
+        // Aggregation observability (cumulative over the context's
+        // lifetime, hence `store` not `add`): how many kernels went up
+        // fused, the batch-size histogram per kind, the flush-trigger
+        // breakdown, and the slot-window occupancy.
+        if let Some(ctx) = &self.gpu {
+            let agg = ctx.agg_stats();
+            metrics.counter("fmm/kernels/batched").store(agg.items_gpu());
+            metrics.counter("fmm/agg/batches").store(agg.batches());
+            metrics.counter("fmm/agg/items_cpu").store(agg.items_cpu());
+            metrics.counter("fmm/agg/flush_full").store(agg.flush_full());
+            metrics
+                .counter("fmm/agg/flush_window")
+                .store(agg.flush_window());
+            metrics.counter("fmm/agg/flush_idle").store(agg.flush_idle());
+            metrics
+                .counter("fmm/agg/occupancy_permille")
+                .store(agg.occupancy_permille(ctx.agg_config().slots));
+            metrics
+                .counter("fmm/agg/overflow_submits")
+                .store(ctx.overflow_submits());
+            for kind in KernelKind::ALL {
+                for (bucket, label) in HIST_LABELS.iter().enumerate() {
+                    metrics
+                        .counter(&format!("fmm/agg/hist/{}/{label}", kind.as_str()))
+                        .store(agg.hist(kind.index(), bucket));
+                }
+            }
+        }
     }
 
     /// Futurized steps 2–3 + assembly *restricted to a shard*: run the

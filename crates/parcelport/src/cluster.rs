@@ -157,12 +157,6 @@ impl Locality {
         Ok(())
     }
 
-    /// Infallible [`Locality::try_send`]; panics on a bad destination.
-    #[deprecated(note = "use Locality::try_send and handle the error")]
-    pub fn send(&self, parcel: Parcel) {
-        self.try_send(parcel).expect("parcel send failed");
-    }
-
     /// Typed fire-and-forget through an [`ActionHandle`]: encode `req`
     /// and send it to `action`'s handler on `dest_locality`.
     pub fn send_action<Req: Serialize>(
@@ -248,23 +242,6 @@ impl Locality {
         self.try_call(dest_locality, dest_component, action.id(), req)
     }
 
-    /// Infallible [`Locality::try_call`]; panics on serialization
-    /// failure, a bad destination, or a corrupt response.
-    #[deprecated(note = "use Locality::try_call (or call_action) and handle the error")]
-    pub fn call<Req: Serialize, Resp: for<'de> Deserialize<'de> + Send + 'static>(
-        &self,
-        dest_locality: u32,
-        dest_component: GlobalId,
-        action: ActionId,
-        req: &Req,
-    ) -> Future<Resp> {
-        self.try_call(dest_locality, dest_component, action, req)
-            .expect("remote call failed")
-            .then(self.rt.scheduler(), |r: Result<Resp>| {
-                r.expect("response deserialization failed")
-            })
-    }
-
     /// Park a handler-side error (see the `failures` field docs).
     pub fn record_failure(&self, e: Error) {
         self.transport.counters().increment("handler_errors");
@@ -300,6 +277,8 @@ pub struct Cluster {
     fault: Option<Arc<FaultyTransport>>,
     reliable: Option<Arc<ReliableTransport>>,
     fmm_chunk_cells: Option<usize>,
+    fmm_agg_slots: Option<usize>,
+    fmm_agg_window: Option<usize>,
 }
 
 /// Fluent construction of a [`Cluster`]:
@@ -327,6 +306,8 @@ pub struct ClusterBuilder {
     fault_plan: Option<FaultPlan>,
     reliable: Option<ReliablePolicy>,
     fmm_chunk_cells: Option<usize>,
+    fmm_agg_slots: Option<usize>,
+    fmm_agg_window: Option<usize>,
 }
 
 impl Default for ClusterBuilder {
@@ -340,6 +321,8 @@ impl Default for ClusterBuilder {
             fault_plan: None,
             reliable: None,
             fmm_chunk_cells: None,
+            fmm_agg_slots: None,
+            fmm_agg_window: None,
         }
     }
 }
@@ -400,6 +383,24 @@ impl ClusterBuilder {
     /// environment variable, then the built-in default).
     pub fn fmm_chunk_cells(mut self, n: usize) -> Self {
         self.fmm_chunk_cells = Some(n);
+        self
+    }
+
+    /// Same-kind FMM work items per fused GPU batch on every
+    /// locality's solver. Unset = each driver's own default (the
+    /// `FMM_AGG_SLOTS` environment variable, then the built-in
+    /// default).
+    pub fn fmm_agg_slots(mut self, n: usize) -> Self {
+        self.fmm_agg_slots = Some(n);
+        self
+    }
+
+    /// Total buffered FMM work items before a forced flush on every
+    /// locality's solver. Unset = each driver's own default (the
+    /// `FMM_AGG_WINDOW` environment variable, then the built-in
+    /// default).
+    pub fn fmm_agg_window(mut self, n: usize) -> Self {
+        self.fmm_agg_window = Some(n);
         self
     }
 
@@ -522,6 +523,8 @@ impl ClusterBuilder {
             fault,
             reliable,
             fmm_chunk_cells: self.fmm_chunk_cells,
+            fmm_agg_slots: self.fmm_agg_slots,
+            fmm_agg_window: self.fmm_agg_window,
         })
     }
 
@@ -546,6 +549,18 @@ impl Cluster {
     /// The FMM chunk-size override this cluster was built with, if any.
     pub fn fmm_chunk_cells(&self) -> Option<usize> {
         self.fmm_chunk_cells
+    }
+
+    /// The FMM aggregation-slots override this cluster was built with,
+    /// if any.
+    pub fn fmm_agg_slots(&self) -> Option<usize> {
+        self.fmm_agg_slots
+    }
+
+    /// The FMM aggregation-window override this cluster was built
+    /// with, if any.
+    pub fn fmm_agg_window(&self) -> Option<usize> {
+        self.fmm_agg_window
     }
 
     /// The network cost model this cluster was built with.

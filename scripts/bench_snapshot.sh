@@ -50,6 +50,30 @@ awk '
 ' BENCH_fmm.json || fail "fmm scaling gate"
 
 echo
+echo "== §6.1.2 launch fractions + work-aggregation collapse =="
+cargo run --release -p bench --bin gpu_launch_fraction || fail "gpu_launch_fraction"
+
+# Aggregation gate: the batched 64-sub-grid solve must issue at most
+# half the launches of the per-kernel baseline (ISSUE 7 acceptance:
+# >= 2x launch-count collapse at the default 8-slot window). Falling
+# under it means the slot windows stopped fusing.
+awk '
+    /"baseline_launches"/ { gsub(/[,"]/, ""); baseline = $2 }
+    /"batched_launches"/  { gsub(/[,"]/, ""); batched = $2 }
+    END {
+        if (baseline == "" || batched == "") {
+            print "!! BENCH FAILED: aggregation fields missing from BENCH_fmm.json" > "/dev/stderr"
+            exit 1
+        }
+        printf "aggregation gate: %d batched vs %d per-item launches (%.2fx collapse)\n", batched, baseline, baseline / batched
+        if (batched * 2 > baseline) {
+            printf "!! BENCH FAILED: batched solve issued %d launches (> half of %d) — aggregation stopped fusing\n", batched, baseline > "/dev/stderr"
+            exit 1
+        }
+    }
+' BENCH_fmm.json || fail "aggregation gate"
+
+echo
 echo "== distributed real-driver transport comparison =="
 cargo run --release -p bench --bin fig3_real_solver -- "${2:-1}" || fail "fig3_real_solver"
 

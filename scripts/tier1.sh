@@ -4,7 +4,8 @@
 #   1. release build of the whole workspace (bins + benches included)
 #   2. benches compile (cargo bench --no-run — `cargo build` skips them)
 #   3. the full test suite in quiet mode
-#   4. the FMM_CHUNK_CELLS knob round-trips builder → driver config
+#   4. the FMM_CHUNK_CELLS and FMM_AGG_* knobs round-trip builder →
+#      driver config
 #   5. rustdoc with warnings denied (broken links, missing docs on amt)
 #
 # Usage: scripts/tier1.sh
@@ -12,22 +13,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: deprecation budget =="
-# The only #[deprecated] items allowed in the tree are the two
-# one-release Locality::send / Locality::call shims in cluster.rs.
-# Anything else must be migrated or deleted, not parked.
-stray=$(grep -rln --include='*.rs' '#\[deprecated' crates tests \
-    | grep -v '^crates/parcelport/src/cluster.rs$' || true)
+# The deprecation budget is zero: the one-release Locality::send /
+# Locality::call shims were retired with the typed work-item redesign.
+# Nothing may be parked behind #[deprecated]; migrate or delete it.
+stray=$(grep -rln --include='*.rs' '#\[deprecated' crates tests || true)
 if [ -n "$stray" ]; then
-    echo "!! deprecated items outside the allowed send/call shims:" >&2
+    echo "!! deprecated items found (the budget is zero):" >&2
     echo "$stray" >&2
     exit 1
 fi
-shims=$(grep -c '#\[deprecated' crates/parcelport/src/cluster.rs || true)
-if [ "$shims" -gt 2 ]; then
-    echo "!! cluster.rs has $shims deprecated items; only the send/call shims (2) are allowed" >&2
-    exit 1
-fi
-echo "deprecation budget OK ($shims/2 shims)"
+echo "deprecation budget OK (0/0 shims)"
 
 echo
 echo "== tier-1: cargo build --workspace --release =="
@@ -42,9 +37,11 @@ echo "== tier-1: cargo test -q =="
 cargo test -q
 
 echo
-echo "== tier-1: FMM_CHUNK_CELLS round-trip (builder -> driver config) =="
+echo "== tier-1: knob round-trips (builder -> driver config) =="
 cargo test -q -p integration-tests --test distributed_driver \
     fmm_chunk_cells_round_trips_through_config_and_cluster
+cargo test -q -p integration-tests --test distributed_driver \
+    fmm_agg_knobs_round_trip_through_config_and_cluster
 
 echo
 echo "== tier-1: cargo doc --no-deps (warnings are errors) =="

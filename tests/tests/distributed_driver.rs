@@ -242,6 +242,56 @@ fn fmm_chunk_cells_round_trips_through_config_and_cluster() {
     assert_eq!(Simulation::new(scenario).fmm_chunk_cells(), None);
 }
 
+/// ISSUE 7 satellite: the work-aggregation knobs ride the same
+/// consolidated override chain (`core::config::knobs`) — environment →
+/// `Config` default, scenario `Config` → the single-node driver's
+/// solver, and a `ClusterBuilder` override → the distributed driver's
+/// solvers. The pairwise `window ≥ slots` clamp applies on the way in.
+#[test]
+fn fmm_agg_knobs_round_trip_through_config_and_cluster() {
+    std::env::set_var("FMM_AGG_SLOTS", "6");
+    std::env::set_var("FMM_AGG_WINDOW", "24");
+    let c = Config::self_gravitating();
+    assert_eq!(c.fmm_agg_slots, 6);
+    assert_eq!(c.fmm_agg_window, 24);
+    std::env::remove_var("FMM_AGG_SLOTS");
+    std::env::remove_var("FMM_AGG_WINDOW");
+
+    // Scenario config → single-node driver; a window smaller than one
+    // batch clamps up to the slot count.
+    let mut scenario = star_amr();
+    scenario.config.fmm_agg_slots = 5;
+    scenario.config.fmm_agg_window = 2;
+    let sim = Simulation::new(scenario);
+    let agg = sim.fmm_aggregation().expect("gravity on");
+    assert_eq!(agg.slots, 5);
+    assert_eq!(agg.window, 5, "window clamps up to slots");
+
+    // Cluster-level overrides win over the scenario's.
+    let cluster = Arc::new(
+        Cluster::builder()
+            .localities(2)
+            .threads_per(1)
+            .fmm_agg_slots(12)
+            .fmm_agg_window(48)
+            .build(),
+    );
+    assert_eq!(cluster.fmm_agg_slots(), Some(12));
+    assert_eq!(cluster.fmm_agg_window(), Some(48));
+    let mut scenario = star_amr();
+    scenario.config.fmm_agg_slots = 5;
+    scenario.config.fmm_agg_window = 20;
+    let driver = DistributedDriver::new(scenario, cluster).expect("driver");
+    let agg = driver.fmm_aggregation().expect("gravity on");
+    assert_eq!(agg.slots, 12);
+    assert_eq!(agg.window, 48);
+
+    // No gravity → no solver → nothing to report.
+    let mut scenario = star_amr();
+    scenario.config.gravity = false;
+    assert_eq!(Simulation::new(scenario).fmm_aggregation(), None);
+}
+
 /// The PR-1 regression shape, under the distributed driver's real
 /// message size: blast interior-sized (~57 KB, rendezvous/RMA path)
 /// parcels from every locality at once, then demand full quiescence
