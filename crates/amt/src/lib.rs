@@ -49,7 +49,7 @@ pub use counters::CounterRegistry;
 pub use future::{make_ready_future, when_all, Future, Promise};
 pub use metrics::{Counter, Metrics};
 pub use scheduler::Scheduler;
-pub use trace::{Trace, TraceCategory, TraceGuard, TraceSession};
+pub use trace::{DurationHistogram, Trace, TraceCategory, TraceGuard, TraceSession};
 
 use std::sync::Arc;
 

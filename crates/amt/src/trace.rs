@@ -744,6 +744,193 @@ impl Trace {
     }
 }
 
+// ------------------------------------------------------------- histograms
+
+/// An empirical distribution of span durations (or any non-negative
+/// integer quantity, e.g. parcel payload bytes) in logarithmic base-2
+/// buckets, exported from a [`Trace`] for consumers that need to *sample*
+/// measured behaviour rather than read scalar aggregates — the
+/// `perfmodel` scale-out co-simulation draws per-category kernel costs
+/// from these.
+///
+/// Bucket `i` covers values in `[2^i, 2^(i+1))` (value 0 lands in bucket
+/// 0), fine enough to preserve the multi-decade shape of task-duration
+/// distributions while staying a fixed 64-slot table. Exact `min`,
+/// `max`, `count` and `total` are kept alongside so means are exact and
+/// sampled values can be clamped into the observed range.
+///
+/// ```
+/// use amt::trace::DurationHistogram;
+///
+/// let h = DurationHistogram::from_values([100u64, 200, 400, 800].into_iter());
+/// assert_eq!(h.count(), 4);
+/// assert!((h.mean() - 375.0).abs() < 1e-9);
+/// // Quantiles interpolate the empirical CDF, clamped to [min, max].
+/// assert!(h.quantile(0.0) >= 100.0 && h.quantile(1.0) <= 800.0);
+/// // Sampling via inverse CDF: any u64 random word maps to a duration.
+/// let v = h.sample(0x9E3779B97F4A7C15);
+/// assert!((100.0..=800.0).contains(&v));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationHistogram {
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+    /// `buckets[i]` counts values with `floor(log2(max(v,1))) == i`.
+    buckets: Vec<u64>,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> DurationHistogram {
+        DurationHistogram::empty()
+    }
+}
+
+impl DurationHistogram {
+    /// Number of log2 buckets (covers the whole `u64` range).
+    pub const BUCKETS: usize = 64;
+
+    /// An empty histogram (count 0; [`DurationHistogram::mean`] is 0).
+    pub fn empty() -> DurationHistogram {
+        DurationHistogram { count: 0, total: 0, min: u64::MAX, max: 0, buckets: vec![0; Self::BUCKETS] }
+    }
+
+    /// Build from raw values.
+    pub fn from_values(values: impl Iterator<Item = u64>) -> DurationHistogram {
+        let mut h = DurationHistogram::empty();
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.total += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[63 - v.max(1).leading_zeros() as usize] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.min }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Inverse empirical CDF: the value at quantile `q` ∈ [0, 1],
+    /// linearly interpolated inside the containing log2 bucket and
+    /// clamped to the observed `[min, max]`. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n as f64;
+            if target <= next {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 { self.max as f64 } else { (1u64 << (i + 1)) as f64 };
+                let frac = (target - cum) / n as f64;
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            cum = next;
+        }
+        self.max as f64
+    }
+
+    /// Draw one value using `word` as the uniform random source (any
+    /// 64-bit word, e.g. from a seeded splitmix64 stream): maps `word`
+    /// to a quantile and inverts the CDF. Deterministic in `word`.
+    pub fn sample(&self, word: u64) -> f64 {
+        // 53 high bits -> uniform in [0, 1).
+        self.quantile((word >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// Draw the sum of `n` values, using `next_word` as the random
+    /// stream. Exact sampling up to 64 draws; beyond that the sum is
+    /// approximated by its normal limit (mean `n·µ`, variance from the
+    /// bucket spread) so cost stays bounded for large work volumes —
+    /// still fully deterministic in the consumed words.
+    pub fn sample_sum(&self, n: u64, mut next_word: impl FnMut() -> u64) -> f64 {
+        if self.count == 0 || n == 0 {
+            return 0.0;
+        }
+        if n <= 64 {
+            return (0..n).map(|_| self.sample(next_word())).sum();
+        }
+        // Bucket-level variance estimate around the exact mean.
+        let mean = self.mean();
+        let mut var = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mid = if i == 0 { 1.0 } else { 1.5 * (1u64 << i) as f64 };
+            var += c as f64 * (mid - mean) * (mid - mean);
+        }
+        var /= self.count as f64;
+        // Box-Muller from two words; clamp at zero (durations are
+        // non-negative).
+        let u1 = ((next_word() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let u2 = (next_word() >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (n as f64 * mean + (n as f64 * var).sqrt() * z).max(0.0)
+    }
+}
+
+impl Trace {
+    /// The duration distribution of one category as a log2-bucket
+    /// histogram — the sampler export used to calibrate the scale-out
+    /// co-simulation (see `perfmodel::calibrate`).
+    pub fn histogram(&self, cat: TraceCategory) -> DurationHistogram {
+        DurationHistogram::from_values(
+            self.events.iter().filter(|e| e.cat == cat).map(|e| e.dur_ns),
+        )
+    }
+}
+
 fn push_event_sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
@@ -925,6 +1112,89 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_sample() {
+        let values = [120u64, 480, 950, 2100, 2100, 9000];
+        let h = DurationHistogram::from_values(values.iter().copied());
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total(), values.iter().sum::<u64>());
+        assert_eq!(h.min(), 120);
+        assert_eq!(h.max(), 9000);
+        assert!((h.mean() - h.total() as f64 / 6.0).abs() < 1e-9);
+        // Quantiles are monotone and clamped to the observed range.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            assert!(q >= last, "quantiles must be monotone");
+            assert!((120.0..=9000.0).contains(&q), "q={q}");
+            last = q;
+        }
+        // Sampling never escapes [min, max] either.
+        let mut word = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100 {
+            word = word.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+            let v = h.sample(word);
+            assert!((120.0..=9000.0).contains(&v), "sample {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_sum_sampling_tracks_the_mean() {
+        let h = DurationHistogram::from_values((0..200u64).map(|i| 1000 + i * 7));
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            state
+        };
+        // Exact path (n <= 64) and normal-limit path (n > 64) must both
+        // land near n * mean.
+        for n in [16u64, 1000] {
+            let sum = h.sample_sum(n, &mut next);
+            let expect = n as f64 * h.mean();
+            assert!(
+                (sum - expect).abs() < 0.25 * expect,
+                "n={n}: sum {sum} vs expected {expect}"
+            );
+        }
+        // Deterministic: the same word stream reproduces the same sums.
+        let mut s1 = 7u64;
+        let mut a = move || {
+            s1 = s1.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            s1
+        };
+        let mut s2 = 7u64;
+        let mut b = move || {
+            s2 = s2.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            s2
+        };
+        assert_eq!(h.sample_sum(1000, &mut a).to_bits(), h.sample_sum(1000, &mut b).to_bits());
+        // Merge is additive.
+        let mut m = DurationHistogram::empty();
+        m.merge(&h);
+        m.merge(&h);
+        assert_eq!(m.count(), 2 * h.count());
+        assert_eq!(m.total(), 2 * h.total());
+    }
+
+    #[test]
+    fn trace_histogram_extracts_one_category() {
+        let trace = Trace {
+            start_ns: 0,
+            end_ns: 1000,
+            dropped: 0,
+            threads: vec![],
+            events: vec![
+                TraceEvent { tid: 1, cat: TraceCategory::FmmM2M, label: None, t0_ns: 0, dur_ns: 500 },
+                TraceEvent { tid: 1, cat: TraceCategory::FmmM2M, label: None, t0_ns: 10, dur_ns: 700 },
+                TraceEvent { tid: 1, cat: TraceCategory::Idle, label: None, t0_ns: 20, dur_ns: 9 },
+            ],
+        };
+        let h = trace.histogram(TraceCategory::FmmM2M);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), 1200);
+        assert_eq!(trace.histogram(TraceCategory::HydroRhs).count(), 0);
     }
 
     #[test]

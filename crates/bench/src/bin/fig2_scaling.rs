@@ -14,7 +14,7 @@
 //! (several minutes, gigabytes of RAM).
 
 use parcelport::netmodel::TransportKind;
-use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, Calibration};
+use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, HandCalibration};
 
 fn main() {
     let max_level: u8 = std::env::args()
@@ -22,7 +22,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(15);
     let levels: Vec<u8> = (max_level.saturating_sub(3)..=max_level).collect();
-    let calib = Calibration::default();
+    let calib = HandCalibration::default();
 
     // Reference: the coarsest level on one node (the paper normalizes
     // to level 14 on 1 node).

@@ -7,7 +7,7 @@
 //! ```
 
 use parcelport::netmodel::TransportKind;
-use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, Calibration};
+use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, HandCalibration};
 
 fn main() {
     let max_level: u8 = std::env::args()
@@ -15,7 +15,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(14);
     let levels: Vec<u8> = (max_level.saturating_sub(2)..=max_level).collect();
-    let calib = Calibration::default();
+    let calib = HandCalibration::default();
 
     println!("Figure 3 — ratio of processed sub-grids/s, libfabric / MPI");
     println!("(paper: ~1 or slightly below at small N, rising to ~2.5-2.8)\n");

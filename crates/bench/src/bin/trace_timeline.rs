@@ -115,7 +115,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2)
         .max(1);
-    let out_path = std::env::args().nth(2).unwrap_or_else(|| "trace_timeline.json".into());
+    // Bench artifacts live under target/bench/ so they never litter the
+    // repo root (and stay covered by `cargo clean`).
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "target/bench/trace_timeline.json".into());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        }
+    }
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     println!("task timeline (single_star level 2, {steps} step(s), {host_cpus} host CPUs)");

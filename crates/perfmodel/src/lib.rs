@@ -10,18 +10,33 @@
 //!   platform) and the **§6.1.2** GPU-launch fractions, including the
 //!   starvation effect (20 cores + 1 V100 slower than 10 cores +
 //!   1 V100).
-//! * [`scaling`] — the distributed model driving **Figures 2 and 3**:
-//!   the real octree decomposition per refinement level, SFC-partitioned
-//!   over N localities, with per-step compute/communication costs from
-//!   the two [`parcelport::NetParams`] transport models.
+//! * [`calibrate`] — extraction of every workload constant the scale-out
+//!   model needs from *measured* data: [`amt::trace`] span histograms,
+//!   parcelport counters, GPU-aggregation statistics, and a timed
+//!   checkpoint round-trip.
+//! * [`des`] — the trace-calibrated discrete-event co-simulation behind
+//!   the reproduced **Figures 2 and 3** (REPRODUCTION.md): per-locality
+//!   core/NIC/stream [`des::Component`]s cycling over a shared event
+//!   queue, running the real octree decomposition at up to 5400
+//!   simulated localities on the two [`parcelport::NetParams`] transport
+//!   models, plus the checkpoint-cadence sweep.
+//! * [`scaling`] — the original closed-form Figure 2/3 model, kept as an
+//!   analytic cross-check (its [`scaling::HandCalibration`] constants
+//!   are hand-entered; the DES path takes none).
 //! * [`regrid`] — the startup/regridding model behind §6.3's
 //!   order-of-magnitude claim (latency/contention-bound small messages).
 
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod des;
 pub mod machine;
 pub mod node_level;
 pub mod regrid;
 pub mod scaling;
 
-pub use machine::{NodeConfig, PIZ_DAINT_NODE};
+pub use calibrate::{Calibration, CheckpointCost, Measurements};
+pub use des::{simulate_scaleout, sweep_cadence, CommPattern, DesOpts, ScaleoutResult};
+pub use machine::NodeConfig;
 pub use node_level::{simulate_node, NodeLevelResult};
-pub use scaling::{simulate_scaling, ScalingPoint};
+pub use scaling::{efficiency, simulate_scaling, ScalingPoint};

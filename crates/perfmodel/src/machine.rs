@@ -1,4 +1,14 @@
 //! Hardware tables: Table 3's Piz Daint node and Table 2's platforms.
+//!
+//! These are *hardware spec sheets* (core counts, attached GPUs,
+//! per-kernel efficiency ceilings) transcribed from the paper's tables;
+//! they stay hand-entered by design. What is **deprecated and removed**
+//! from the modelling path is hand-entering *workload* constants
+//! (kernel durations, message counts): the scale-out co-simulation
+//! ([`crate::des`]) takes those exclusively from a measured
+//! [`crate::calibrate::Calibration`]. The old `PIZ_DAINT_NODE`
+//! function-pointer alias was removed in the same pass — call
+//! [`piz_daint_node`] directly.
 
 use gpusim::device::DeviceSpec;
 
@@ -37,9 +47,6 @@ pub fn piz_daint_node() -> NodeConfig {
         gpu_fmm_efficiency: 0.21,
     }
 }
-
-/// Constant alias used across the workspace.
-pub static PIZ_DAINT_NODE: fn() -> NodeConfig = piz_daint_node;
 
 /// All rows of Table 2, in the paper's order.
 pub fn table2_platforms() -> Vec<NodeConfig> {

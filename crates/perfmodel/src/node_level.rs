@@ -81,8 +81,9 @@ pub struct NodeLevelResult {
     /// Fraction of kernels launched on the GPU (1.0 for CPU-only rows
     /// is reported as 0.0 — no GPU).
     pub gpu_fraction: f64,
-    /// Kernel counts.
+    /// Kernels launched on the GPU.
     pub gpu_kernels: u64,
+    /// Kernels that ran on the CPU.
     pub cpu_kernels: u64,
 }
 

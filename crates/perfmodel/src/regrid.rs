@@ -18,6 +18,7 @@ use parcelport::netmodel::{NetParams, TransportKind};
 /// Result of the regrid/startup model.
 #[derive(Debug, Clone, Copy)]
 pub struct RegridResult {
+    /// Simulated transport.
     pub kind: TransportKind,
     /// Messages exchanged per node during the refinement storm.
     pub messages_per_node: u64,

@@ -1,4 +1,15 @@
-//! The distributed scaling model — regenerates Figures 2 and 3.
+//! The *closed-form* distributed scaling model — the original Figure
+//! 2/3 regeneration, kept as a cross-check.
+//!
+//! This model's [`HandCalibration`] constants are hand-entered
+//! engineering estimates. It is superseded by the trace-calibrated
+//! discrete-event co-simulation in [`crate::des`], whose
+//! [`crate::calibrate::Calibration`] is extracted from measured traces
+//! and counters; the `fig23_scaleout` bench (and REPRODUCTION.md) use
+//! that path. This module remains useful as an analytic sanity check —
+//! both models must agree on the qualitative shapes — and as the home
+//! of the shared [`ScalingPoint`] output type and the
+//! [`v1309_structure_tree`] builder.
 //!
 //! The model runs the *real* octree decomposition: the V1309 refinement
 //! rule builds the structure tree for each level, the SFC partitioner
@@ -25,9 +36,12 @@ use octree::sfc::{halo_census, partition};
 use octree::tree::Octree;
 use parcelport::netmodel::{NetParams, TransportKind};
 
-/// Calibration constants of the step-cost model.
+/// Hand-entered calibration constants of the closed-form step-cost
+/// model. **Legacy**: the scale-out co-simulation ([`crate::des`])
+/// takes no hand-entered kernel constants — its
+/// [`crate::calibrate::Calibration`] is extracted from measured data.
 #[derive(Debug, Clone, Copy)]
-pub struct Calibration {
+pub struct HandCalibration {
     /// Wall-clock per sub-grid per step on one full node, µs.
     pub t_subgrid_us: f64,
     /// Grain-size penalty scale (sub-grids needed for full overlap).
@@ -44,9 +58,9 @@ pub struct Calibration {
     pub msg_base_us: f64,
 }
 
-impl Default for Calibration {
-    fn default() -> Calibration {
-        Calibration {
+impl Default for HandCalibration {
+    fn default() -> HandCalibration {
+        HandCalibration {
             t_subgrid_us: 4600.0,
             grain_subgrids: 3.0,
             rounds: 4.0,
@@ -57,12 +71,17 @@ impl Default for Calibration {
     }
 }
 
-/// One point of the Figure 2/3 data.
+/// One point of the Figure 2/3 data (produced by both the closed-form
+/// model and the [`crate::des`] co-simulation).
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPoint {
+    /// Refinement level of the simulated tree.
     pub level: u8,
+    /// Locality (node) count.
     pub nodes: usize,
+    /// Simulated transport.
     pub kind: TransportKind,
+    /// Total sub-grids in the decomposition.
     pub subgrids: usize,
     /// Modelled wall time per step, seconds.
     pub step_time_s: f64,
@@ -83,7 +102,7 @@ pub fn simulate_scaling(
     tree: &Octree,
     nodes: usize,
     kind: TransportKind,
-    calib: &Calibration,
+    calib: &HandCalibration,
 ) -> ScalingPoint {
     assert!(nodes >= 1);
     let params = NetParams::for_kind(kind);
@@ -127,6 +146,22 @@ pub fn simulate_scaling(
 
 /// Parallel efficiency of `point` against a reference throughput-per-
 /// node (typically level 14 on 1 node).
+///
+/// ```
+/// use parcelport::netmodel::TransportKind;
+/// use perfmodel::scaling::{efficiency, ScalingPoint};
+///
+/// let p = ScalingPoint {
+///     level: 14,
+///     nodes: 4,
+///     kind: TransportKind::Libfabric,
+///     subgrids: 100,
+///     step_time_s: 1.0,
+///     subgrids_per_second: 100.0,
+/// };
+/// // 100 sg/s over 4 nodes against a 25 sg/s 1-node reference: ideal.
+/// assert!((efficiency(&p, 25.0) - 1.0).abs() < 1e-12);
+/// ```
 pub fn efficiency(point: &ScalingPoint, reference_throughput_1node: f64) -> f64 {
     point.subgrids_per_second / (reference_throughput_1node * point.nodes as f64)
 }
@@ -142,7 +177,7 @@ mod tests {
     #[test]
     fn throughput_grows_then_saturates() {
         let tree = small_tree();
-        let calib = Calibration::default();
+        let calib = HandCalibration::default();
         let p1 = simulate_scaling(&tree, 1, TransportKind::Libfabric, &calib);
         // 2 nodes must clearly beat 1 node (the SFC cut at N = 2 slices
         // straight through the dense binary core, so the surcharge is
@@ -167,7 +202,7 @@ mod tests {
     #[test]
     fn libfabric_beats_mpi_at_scale_but_not_at_one_node() {
         let tree = small_tree();
-        let calib = Calibration::default();
+        let calib = HandCalibration::default();
         // One node: no remote messages; polling tax makes libfabric a
         // hair *slower* (the Fig. 3 dip below 1.0).
         let m1 = simulate_scaling(&tree, 1, TransportKind::Mpi, &calib);
@@ -190,7 +225,7 @@ mod tests {
         // The Fig. 3 shape: the libfabric/MPI ratio increases with
         // node count (communication share grows).
         let tree = small_tree();
-        let calib = Calibration::default();
+        let calib = HandCalibration::default();
         let ratio_at = |nodes: usize| {
             let m = simulate_scaling(&tree, nodes, TransportKind::Mpi, &calib);
             let l = simulate_scaling(&tree, nodes, TransportKind::Libfabric, &calib);
@@ -210,7 +245,7 @@ mod tests {
         // A deeper tree on proportionally more nodes should hold its
         // efficiency reasonably (the paper's "weak scaling is clearly
         // very good").
-        let calib = Calibration::default();
+        let calib = HandCalibration::default();
         let t9 = v1309_structure_tree(10);
         let t10 = v1309_structure_tree(10);
         let p9 = simulate_scaling(&t9, 8, TransportKind::Libfabric, &calib);
@@ -247,7 +282,7 @@ mod debug_scaling {
     fn print_points() {
         let tree = v1309_structure_tree(12);
         println!("leaves = {}", tree.leaf_count());
-        let calib = Calibration::default();
+        let calib = HandCalibration::default();
         for nodes in [1usize, 2, 4, 16, 64, 256] {
             let l = simulate_scaling(&tree, nodes, TransportKind::Libfabric, &calib);
             let m = simulate_scaling(&tree, nodes, TransportKind::Mpi, &calib);

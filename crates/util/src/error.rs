@@ -36,6 +36,9 @@ pub enum Error {
     /// A checkpoint could not be written, decoded, or verified
     /// (version mismatch, digest mismatch, truncation, ...).
     Checkpoint(String),
+    /// A performance-model input was invalid (empty calibration trace,
+    /// zero localities, ...).
+    Model(String),
 }
 
 impl std::fmt::Display for Error {
@@ -50,6 +53,7 @@ impl std::fmt::Display for Error {
             Error::Driver(msg) => write!(f, "driver error: {msg}"),
             Error::LocalityCrashed(loc) => write!(f, "locality {loc} crashed"),
             Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            Error::Model(msg) => write!(f, "performance-model error: {msg}"),
         }
     }
 }

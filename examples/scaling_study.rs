@@ -6,13 +6,13 @@
 //! cargo run --release -p examples --bin scaling_study
 //! ```
 
-use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, Calibration};
+use perfmodel::scaling::{simulate_scaling, v1309_structure_tree, HandCalibration};
 use parcelport::netmodel::TransportKind;
 
 fn main() {
     println!("Scaling study (compact Fig. 2/3): V1309 tree, SFC partition,");
     println!("halo census, transport cost models\n");
-    let calib = Calibration::default();
+    let calib = HandCalibration::default();
     let level = 12;
     let tree = v1309_structure_tree(level);
     println!("level {level}: {} sub-grids\n", tree.leaf_count());

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # FMM performance snapshot: kernel microbenchmarks (quick mode), the
 # measured solver throughput / launch-split / scratch numbers, the
-# distributed real-driver transport comparison, and the APEX-style
-# task timeline — all merged into BENCH_fmm.json at the repo root,
-# with the raw Perfetto trace archived next to it.
+# distributed real-driver transport comparison, the APEX-style task
+# timeline, and the Fig 2/3 trace-calibrated scale-out co-simulation —
+# all merged into BENCH_fmm.json at the repo root, with the raw
+# Perfetto trace archived under target/bench/.
 #
 # Usage: scripts/bench_snapshot.sh [fmm_iters] [driver_steps]
 #
@@ -79,9 +80,45 @@ cargo run --release -p bench --bin fig3_real_solver -- "${2:-1}" || fail "fig3_r
 
 echo
 echo "== task-trace timeline (per-category breakdown + overhead) =="
-cargo run --release -p bench --bin trace_timeline -- "${2:-2}" trace_timeline.json \
-    || fail "trace_timeline"
+cargo run --release -p bench --bin trace_timeline -- "${2:-2}" \
+    target/bench/trace_timeline.json || fail "trace_timeline"
 
 echo
 echo "== fault-tolerance overhead (reliable delivery + checkpoint) =="
 cargo run --release -p bench --bin fault_overhead -- "${2:-2}" || fail "fault_overhead"
+
+echo
+echo "== Fig 2/3 trace-calibrated scale-out co-simulation =="
+cargo run --release -p bench --bin fig23_scaleout || fail "fig23_scaleout"
+
+# Scale-out gates: the co-simulation must (a) have written its section,
+# (b) reproduce the Fig 3 shape — libfabric at worst break-even at one
+# locality and clearly ahead of MPI at 5400 — and (c) land the Fig 2
+# efficiency roll-off at 5400 localities inside a sane band: well below
+# ideal (comm-bound) but not collapsed to serial.
+awk '
+    /"scaleout"/            { seen = 1 }
+    /"crossover_localities"/ { gsub(/[,"]/, ""); crossover = $2 }
+    /"ratio_at_1"/          { gsub(/[,"]/, ""); r1 = $2 }
+    /"ratio_at_5400"/       { gsub(/[,"]/, ""); r5400 = $2 }
+    /"efficiency_at_5400"/  { gsub(/[,"]/, ""); eff = $2 }
+    END {
+        if (!seen || crossover == "" || r1 == "" || r5400 == "" || eff == "") {
+            print "!! BENCH FAILED: scaleout fields missing from BENCH_fmm.json" > "/dev/stderr"
+            exit 1
+        }
+        printf "scale-out gate: crossover %d localities, lf:MPI %.2fx -> %.2fx, eff(5400) %.3f\n", crossover, r1, r5400, eff
+        if (r1 > 1.02) {
+            printf "!! BENCH FAILED: libfabric already %.2fx MPI at 1 locality — crossover shape lost\n", r1 > "/dev/stderr"
+            exit 1
+        }
+        if (r5400 < 1.05) {
+            printf "!! BENCH FAILED: libfabric only %.2fx MPI at 5400 localities — Fig 3 advantage gone\n", r5400 > "/dev/stderr"
+            exit 1
+        }
+        if (eff < 0.05 || eff > 0.85) {
+            printf "!! BENCH FAILED: efficiency %.3f at 5400 localities outside (0.05, 0.85) — Fig 2 roll-off shape lost\n", eff > "/dev/stderr"
+            exit 1
+        }
+    }
+' BENCH_fmm.json || fail "scale-out gate"
